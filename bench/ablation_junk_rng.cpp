@@ -1,0 +1,56 @@
+// §V-A closing note: replacing every generated entry of S with "junk"
+// (computed by simple addition) upper-bounds the achievable speed and
+// measures how much of the runtime is RNG cost. The paper saw ~2x headroom
+// on shar_te2-b2, arguing for hardware RNG support.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sketch/sketch.hpp"
+#include "testdata/replicas.hpp"
+
+using namespace rsketch;
+
+int main() {
+  bench::print_banner(
+      "ABLATION — 'junk' RNG upper bound (paper §V-A closing note)",
+      "shar_te2-b2; Algorithm 3; paper saw ~2x headroom over (-1,1)");
+  const index_t scale = bench_scale();
+  const int reps = bench_reps();
+
+  const auto a = make_spmm_replica<float>("shar_te2-b2", scale);
+  SketchConfig cfg;
+  cfg.d = spmm_replica_d("shar_te2-b2", scale);
+  cfg.block_d = 3000;
+  cfg.block_n = 500;
+  cfg.parallel = ParallelOver::Sequential;
+
+  Table t("Algorithm 3 on shar_te2-b2 (this repo):");
+  t.set_header({"entry generator", "time (s)", "GFlop/s", "speedup vs (-1,1)"});
+  double t_uniform = 0.0;
+  struct Row {
+    Dist dist;
+    const char* label;
+  };
+  const Row rows[] = {
+      {Dist::Gaussian, "Gaussian on the fly"},
+      {Dist::Uniform, "(-1,1) on the fly"},
+      {Dist::UniformScaled, "(-1,1) scaling trick"},
+      {Dist::PmOne, "+-1 on the fly"},
+      {Dist::Junk, "junk (upper bound)"},
+  };
+  DenseMatrix<float> a_hat(cfg.d, a.cols());
+  const double flops = 2.0 * static_cast<double>(cfg.d) * a.nnz();
+  for (const Row& r : rows) {
+    cfg.dist = r.dist;
+    const double secs =
+        bench::time_best(reps, [&] { sketch_into(cfg, a, a_hat); });
+    if (r.dist == Dist::Uniform) t_uniform = secs;
+    t.add_row({r.label, fmt_time(secs), fmt_fixed(flops / secs / 1e9, 2),
+               t_uniform > 0 ? fmt_fixed(t_uniform / secs, 2) + "x" : "-"});
+  }
+  t.set_footnote(
+      "Shape check: junk > +-1 > scaling trick ~ (-1,1) >> Gaussian; the "
+      "junk/(-1,1) gap is the headroom a hardware RNG could reclaim.");
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

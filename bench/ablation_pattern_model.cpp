@@ -1,0 +1,90 @@
+// Pattern-aware model validation (the paper's future-work item, implemented
+// in analysis/pattern): predicted regeneration fractions vs the ACTUAL
+// sample counts of Algorithm 4, across the Table I replicas and the Table VI
+// abnormal patterns.
+#include <cstdio>
+
+#include "analysis/machine.hpp"
+#include "analysis/pattern.hpp"
+#include "bench_common.hpp"
+#include "sketch/sketch.hpp"
+#include "sparse/generate.hpp"
+#include "testdata/replicas.hpp"
+
+using namespace rsketch;
+
+namespace {
+
+/// Measured regeneration fraction: Alg4's generated samples / (d·m), from a
+/// real run with vertical blocks of width bn.
+double measured_regen_fraction(const CscMatrix<float>& a, index_t bn) {
+  SketchConfig cfg;
+  cfg.d = 64;  // small d: we only count samples, not time
+  cfg.kernel = KernelVariant::Jki;
+  cfg.block_d = 64;
+  cfg.block_n = bn;
+  cfg.parallel = ParallelOver::Sequential;
+  DenseMatrix<float> a_hat(cfg.d, a.cols());
+  const auto stats = sketch_into(cfg, a, a_hat);
+  return static_cast<double>(stats.samples_generated) /
+         (static_cast<double>(cfg.d) * static_cast<double>(a.rows()) *
+          static_cast<double>(ceil_div(a.cols(), bn)));
+}
+
+void report(const std::string& name, const CscMatrix<float>& a, Table& t) {
+  for (const index_t bn : {index_t{1}, index_t{32}, index_t{256}}) {
+    const index_t bn_c = std::min<index_t>(bn, a.cols());
+    const double model_pattern = expected_regen_fraction(a, static_cast<double>(bn_c));
+    const double rho = a.density();
+    const double model_uniform =
+        1.0 - std::pow(1.0 - rho, static_cast<double>(bn_c));
+    const double measured = measured_regen_fraction(a, bn_c);
+    t.add_row({name, fmt_int(bn_c), fmt_fixed(measured, 4),
+               fmt_fixed(model_pattern, 4), fmt_fixed(model_uniform, 4)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "ABLATION — pattern-aware regeneration model vs measured Alg4 samples",
+      "future-work extension of §III-A to non-uniform sparsity");
+  const index_t scale = bench_scale();
+
+  Table t("Fraction of rows regenerated per vertical block of width b_n:");
+  t.set_header({"matrix", "b_n", "measured", "pattern model", "uniform model"});
+  for (const auto& info : spmm_replica_infos()) {
+    report(info.name, make_spmm_replica<float>(info.name, scale), t);
+    t.add_separator();
+  }
+  const index_t m = 100000 / scale, n = 10000 / scale;
+  const index_t stride = std::min<index_t>(1000, std::max<index_t>(2, m / 4));
+  report("Abnormal_A", abnormal_a<float>(m, n, stride, 1), t);
+  t.add_separator();
+  report("Abnormal_C", abnormal_c<float>(m, n, stride, 2), t);
+  t.set_footnote(
+      "Shape check: the pattern model tracks the measured fractions for the "
+      "scattered patterns and is exact at b_n=1; it still overestimates "
+      "banded matrices (mesh_deform), whose CONSECUTIVE blocks share rows — "
+      "the random-block assumption is the remaining gap the paper's future "
+      "work calls out. The uniform model is additionally wrong on "
+      "Abnormal_A/C.");
+  std::printf("%s\n", t.render().c_str());
+
+  // Pattern-aware block suggestion for each replica.
+  RooflineParams p;
+  p.cache_elems = static_cast<double>(detect_cache_bytes()) / 4.0;
+  p.rng_cost = 0.1;
+  Table s("Pattern-aware optimal n1 (h=0.1, detected cache):");
+  s.set_header({"matrix", "uniform n1*", "pattern n1*"});
+  for (const auto& info : spmm_replica_infos()) {
+    const auto a = make_spmm_replica<float>(info.name, scale);
+    p.density = a.density();
+    s.add_row({info.name,
+               fmt_fixed(optimal_n1(p, static_cast<double>(a.cols())), 0),
+               fmt_fixed(optimal_n1_for_matrix(a, p), 0)});
+  }
+  std::printf("%s\n", s.render().c_str());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// §IV-B ablation (google-benchmark): generation throughput of the three
+// RNG backends across distributions, in the short-vector checkpointed
+// regime the blocked kernels use. Verifies the paper's claims that
+// counter-based generators (Philox/Random123) are several times slower than
+// Xoshiro, and that Gaussian transformation dominates generation cost.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "rng/distributions.hpp"
+
+using namespace rsketch;
+
+namespace {
+
+void BM_Fill(benchmark::State& state, Dist dist, RngBackend backend) {
+  const index_t n = state.range(0);
+  SketchSampler<float> sampler(1234, dist, backend);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  index_t col = 0;
+  for (auto _ : state) {
+    sampler.fill(0, col++, v.data(), n);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void Register() {
+  struct Combo {
+    const char* name;
+    Dist dist;
+    RngBackend backend;
+  };
+  const Combo combos[] = {
+      {"pm1/xoshiro", Dist::PmOne, RngBackend::Xoshiro},
+      {"pm1/xoshiro_x8", Dist::PmOne, RngBackend::XoshiroBatch},
+      {"pm1/philox", Dist::PmOne, RngBackend::Philox},
+      {"uniform/xoshiro", Dist::Uniform, RngBackend::Xoshiro},
+      {"uniform/xoshiro_x8", Dist::Uniform, RngBackend::XoshiroBatch},
+      {"uniform/philox", Dist::Uniform, RngBackend::Philox},
+      {"scaled/xoshiro_x8", Dist::UniformScaled, RngBackend::XoshiroBatch},
+      {"gaussian/xoshiro_x8", Dist::Gaussian, RngBackend::XoshiroBatch},
+      {"gaussian/philox", Dist::Gaussian, RngBackend::Philox},
+      {"junk/-", Dist::Junk, RngBackend::XoshiroBatch},
+  };
+  for (const Combo& c : combos) {
+    benchmark::RegisterBenchmark(c.name, BM_Fill, c.dist, c.backend)
+        ->Arg(3000)      // the b_d-sized fills of the blocked kernels
+        ->Arg(10000);    // the paper's STREAM-comparison vector length
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Register();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

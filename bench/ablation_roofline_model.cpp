@@ -1,0 +1,71 @@
+// §III-A model study: computational intensity vs n₁ for several (h, ρ),
+// the closed-form corner cases (Eqs. 5-7), the optimal block sizes, and the
+// sqrt(M) advantage over the GEMM data-movement bound.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/machine.hpp"
+#include "analysis/roofline.hpp"
+#include "bench_common.hpp"
+
+using namespace rsketch;
+
+int main() {
+  bench::print_banner(
+      "ABLATION — §III-A roofline model (Eqs. 4-7)",
+      "CI = flops per element moved-or-generated; B = machine balance");
+
+  const double cache_elems =
+      static_cast<double>(detect_cache_bytes()) / 4.0;  // 32-bit elements
+  const double balance = 40.0;  // representative flops-per-element balance
+
+  std::printf("Model cache size M = %.3g elements (detected cache / 4 B)\n\n",
+              cache_elems);
+
+  Table ci_table("Optimal n1 and CI across the (h, rho) design space:");
+  ci_table.set_header({"h", "rho", "optimal n1", "CI(n1*)", "CI(n1=1)",
+                       "model d1", "model m1", "frac of peak"});
+  for (const double h : {0.001, 0.01, 0.1, 0.5}) {
+    for (const double rho : {1e-4, 1e-3, 1e-2, 0.5}) {
+      RooflineParams p;
+      p.cache_elems = cache_elems;
+      p.rng_cost = h;
+      p.density = rho;
+      p.machine_balance = balance;
+      const double n1 = optimal_n1(p, 1e6);
+      const auto blocks = model_blocks(p, n1);
+      ci_table.add_row(
+          {fmt_fixed(h, 3), fmt_sci(rho), fmt_fixed(n1, 0),
+           fmt_fixed(ci(p, n1), 1), fmt_fixed(ci(p, 1.0), 1),
+           fmt_fixed(blocks.d1, 0), fmt_fixed(blocks.m1, 0),
+           fmt_fixed(peak_fraction(ci(p, n1), balance), 3)});
+    }
+  }
+  std::printf("%s\n", ci_table.render().c_str());
+
+  Table corner("Closed-form corner cases vs GEMM bound:");
+  corner.set_header({"quantity", "value"});
+  corner.add_row({"Eq.5  CI (rho->0, n1=1, h=0.01)",
+                  fmt_fixed(ci_small_rho(cache_elems, 0.01), 1)});
+  corner.add_row({"Eq.5  CI (rho->0, n1=1, h=0)  = M/2",
+                  fmt_fixed(ci_small_rho(cache_elems, 0.0), 1)});
+  corner.add_row(
+      {"GEMM CI bound = sqrt(M)", fmt_fixed(std::sqrt(cache_elems), 1)});
+  corner.add_row(
+      {"advantage over GEMM at h=0 (= sqrt(M)/2)",
+       fmt_fixed(ci_small_rho(cache_elems, 0.0) / std::sqrt(cache_elems), 1)});
+  RooflineParams dense;
+  dense.cache_elems = cache_elems;
+  dense.rng_cost = 0.25;
+  dense.density = 1.0;
+  dense.machine_balance = balance;
+  corner.add_row({"Eq.7  frac of peak (rho=1, h=0.25)",
+                  fmt_fixed(peak_fraction_large_rho(dense), 3)});
+  corner.add_row({"GEMM frac of peak (same B)",
+                  fmt_fixed(gemm_peak_fraction(cache_elems, balance), 3)});
+  corner.set_footnote(
+      "Headline (§III-A): with cheap RNG the scheme beats the GEMM "
+      "data-movement bound by a factor of sqrt(M)/2.");
+  std::printf("%s\n", corner.render().c_str());
+  return 0;
+}

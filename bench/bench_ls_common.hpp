@@ -1,0 +1,101 @@
+// Shared runner for the least-squares experiment family (Tables IX, X, XI
+// and Figure 6): solves every Table VIII replica with LSQR-D, SAP (QR or
+// SVD, as the paper pairs them), and the direct sparse Givens QR
+// (SuiteSparseQR stand-in), collecting times, iterations, error metrics and
+// workspace sizes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "solvers/least_squares.hpp"
+#include "solvers/sap.hpp"
+#include "solvers/sparse_qr.hpp"
+#include "support/timer.hpp"
+#include "testdata/replicas.hpp"
+
+namespace rsketch::bench {
+
+struct LsRunResult {
+  std::string name;
+  bool use_svd = false;
+  // LSQR-D
+  double lsqrd_seconds = 0.0;
+  index_t lsqrd_iters = 0;
+  double lsqrd_error = 0.0;
+  // SAP
+  double sap_sketch_seconds = 0.0;
+  double sap_seconds = 0.0;
+  index_t sap_iters = 0;
+  double sap_error = 0.0;
+  std::size_t sap_bytes = 0;
+  // Direct sparse QR ("SuiteSparse")
+  double direct_seconds = 0.0;
+  double direct_error = 0.0;
+  std::size_t direct_bytes = 0;
+  // Problem
+  std::size_t mem_a_bytes = 0;
+  index_t m = 0, n = 0, nnz = 0;
+};
+
+/// Solve all seven Table VIII replicas with the three solver families.
+inline std::vector<LsRunResult> run_ls_suite() {
+  std::vector<LsRunResult> results;
+  const index_t scale = ls_scale();
+  for (const auto& info : ls_replica_infos()) {
+    LsRunResult r;
+    r.name = info.name;
+    r.use_svd = info.use_svd;
+
+    const CscMatrix<double> a = make_ls_replica(info.name, scale);
+    r.m = a.rows();
+    r.n = a.cols();
+    r.nnz = a.nnz();
+    r.mem_a_bytes = a.memory_bytes();
+    const auto b = make_least_squares_rhs(a, 0xB0B + scale);
+
+    // --- LSQR-D (tol 1e-14, like the paper's fair-comparison setting).
+    {
+      LsqrOptions lo;
+      lo.tol = 1e-14;
+      lo.max_iter = 40000;
+      Timer t;
+      const auto res = lsqr_diag_precond(a, b, lo);
+      r.lsqrd_seconds = t.seconds();
+      r.lsqrd_iters = res.iterations;
+      r.lsqrd_error = ls_error_metric(a, res.x, b);
+    }
+
+    // --- SAP (QR for the benign matrices, SVD for the near-singular ones).
+    {
+      SapOptions so;
+      so.factor = info.use_svd ? SapFactor::SVD : SapFactor::QR;
+      so.gamma = 2.0;
+      so.dist = Dist::Uniform;
+      so.lsqr_tol = 1e-14;
+      so.lsqr_max_iter = 2000;
+      Timer t;
+      const auto res = sap_solve(a, b, so);
+      r.sap_seconds = t.seconds();
+      r.sap_sketch_seconds = res.sketch_seconds;
+      r.sap_iters = res.iterations;
+      r.sap_error = ls_error_metric(a, res.x, b);
+      r.sap_bytes = res.workspace_bytes;
+    }
+
+    // --- Direct sparse QR (SuiteSparseQR stand-in).
+    {
+      Timer t;
+      const auto res = sparse_qr_least_squares(a, b.data());
+      r.direct_seconds = t.seconds();
+      r.direct_error = ls_error_metric(a, res.x, b);
+      r.direct_bytes = res.factor_bytes();
+    }
+
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace rsketch::bench

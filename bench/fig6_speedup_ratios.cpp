@@ -1,0 +1,68 @@
+// Figure 6: SAP speedup ratios t1/t2 (LSQR-D / SAP) and t3/t2
+// (SuiteSparse / SAP), rendered as an ASCII bar chart per matrix.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench_ls_common.hpp"
+
+using namespace rsketch;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double lsqrd_over_sap, ss_over_sap;
+};
+
+// Ratios derived from paper Table IX.
+constexpr PaperRow kPaper[] = {
+    {"rail2586", 24.23 / 4.78, 39.75 / 4.78},
+    {"spal_004", 381.23 / 66.99, 508.41 / 66.99},
+    {"rail4284", 63.00 / 11.52, 149.27 / 11.52},
+    {"rail582", 0.34 / 0.18, 0.55 / 0.18},
+    {"specular", 4.92 / 3.43, 2.04 / 3.43},
+    {"connectus", 0.19 / 0.60, 1.46 / 0.60},
+    {"landmark", 0.80 / 9.61, 3.74 / 9.61},
+};
+
+std::string bar(double ratio, double unit = 0.5) {
+  const int len = std::min(60, static_cast<int>(ratio / unit + 0.5));
+  return std::string(static_cast<std::size_t>(std::max(0, len)), '#');
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "FIGURE 6 — speedup of SAP over LSQR-D (t1/t2) and SuiteSparse (t3/t2)",
+      "bars above 1.0 mean SAP wins; '|' marks ratio = 1");
+
+  std::printf("Paper:\n");
+  for (const auto& r : kPaper) {
+    std::printf("  %-10s t1/t2 = %6.2f  %s\n", r.name, r.lsqrd_over_sap,
+                bar(r.lsqrd_over_sap).c_str());
+    std::printf("  %-10s t3/t2 = %6.2f  %s\n", "", r.ss_over_sap,
+                bar(r.ss_over_sap).c_str());
+  }
+
+  const auto results = bench::run_ls_suite();
+  std::printf("\nThis repo:\n");
+  Table t("Ratios (>1 means SAP faster):");
+  t.set_header({"A", "t1/t2 (LSQR-D/SAP)", "t3/t2 (direct/SAP)"});
+  for (const auto& r : results) {
+    std::printf("  %-10s t1/t2 = %6.2f  %s\n", r.name.c_str(),
+                r.lsqrd_seconds / r.sap_seconds,
+                bar(r.lsqrd_seconds / r.sap_seconds).c_str());
+    std::printf("  %-10s t3/t2 = %6.2f  %s\n", "",
+                r.direct_seconds / r.sap_seconds,
+                bar(r.direct_seconds / r.sap_seconds).c_str());
+    t.add_row({r.name, fmt_fixed(r.lsqrd_seconds / r.sap_seconds, 2),
+               fmt_fixed(r.direct_seconds / r.sap_seconds, 2)});
+  }
+  std::printf("\n%s\n", t.render().c_str());
+  std::printf(
+      "Shape check: SAP wins big on the highly overdetermined rail/spal "
+      "problems and can lose on the small/easy ones (paper: landmark).\n");
+  return 0;
+}

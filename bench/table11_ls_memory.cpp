@@ -1,0 +1,63 @@
+// Table XI: workspace memory of SAP vs the direct sparse QR, next to the
+// memory of A itself. The paper's headline: SAP needs 7-130x LESS memory
+// than the direct method, despite working with a dense sketch.
+#include <cstdio>
+
+#include "bench_ls_common.hpp"
+
+using namespace rsketch;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double sap_mb, ss_mb, mem_a_mb;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"rail2586", 107.00, 15950.11, 135.57},
+    {"spal_004", 1665.62, 49807.51, 741.26},
+    {"rail4284", 293.64, 38959.24, 189.32},
+    {"rail582", 5.42, 218.94, 6.89},
+    {"specular", 33.27, 984.10, 122.37},
+    {"connectus", 3.36, 769.55, 21.2},
+    {"landmark", 116.99, 850.54, 18.37},
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "TABLE XI — workspace memory (MBytes)",
+      "SAP = sketch + factor + LSQR vectors; SuiteSparse = QR factors");
+
+  Table paper("Paper:");
+  paper.set_header({"A", "SAP", "SuiteSparse", "mem(A)"});
+  for (const auto& r : kPaper) {
+    paper.add_row({r.name, fmt_fixed(r.sap_mb, 2), fmt_fixed(r.ss_mb, 2),
+                   fmt_fixed(r.mem_a_mb, 2)});
+  }
+  std::printf("%s\n", paper.render().c_str());
+
+  const auto results = bench::run_ls_suite();
+  Table ours("This repo:");
+  ours.set_header(
+      {"A", "SAP", "direct sparse QR", "mem(A)", "direct/SAP ratio"});
+  for (const auto& r : results) {
+    ours.add_row(
+        {r.name, fmt_fixed(static_cast<double>(r.sap_bytes) / 1e6, 2),
+         fmt_fixed(static_cast<double>(r.direct_bytes) / 1e6, 2),
+         fmt_fixed(static_cast<double>(r.mem_a_bytes) / 1e6, 2),
+         fmt_fixed(static_cast<double>(r.direct_bytes) /
+                       static_cast<double>(r.sap_bytes),
+                   1) +
+             "x"});
+  }
+  ours.set_footnote(
+      "Shape check: the direct solver's R factor fills in far beyond nnz(A); "
+      "SAP's predictable d*n + n^2 workspace is much smaller. (Fill ratios "
+      "are milder than the paper's because the replicas are scaled down — "
+      "fill-in grows superlinearly with n.)");
+  std::printf("%s\n", ours.render().c_str());
+  return 0;
+}

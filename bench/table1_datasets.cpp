@@ -1,0 +1,36 @@
+// Table I: properties of the SpMM test data (d = 3n, dimensions of A, nnz,
+// density) — printed for the scaled replicas next to the paper's originals.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sparse/csc.hpp"
+#include "testdata/replicas.hpp"
+
+using namespace rsketch;
+
+int main() {
+  bench::print_banner("TABLE I — properties of SpMM test data",
+                      "SuiteSparse matrices; d = 3n rows in S");
+  const index_t scale = bench_scale();
+
+  Table paper("Paper (original matrices):");
+  paper.set_header({"Matrices", "d", "m", "n", "nnz(A)", "density"});
+  Table ours("This repo (synthetic replicas, scaled):");
+  ours.set_header({"Matrices", "d", "m", "n", "nnz(A)", "density"});
+
+  for (const auto& info : spmm_replica_infos()) {
+    const double paper_density =
+        static_cast<double>(info.nnz) /
+        (static_cast<double>(info.m) * static_cast<double>(info.n));
+    paper.add_row({info.name, fmt_int(info.d), fmt_int(info.m),
+                   fmt_int(info.n), fmt_int(info.nnz),
+                   fmt_sci(paper_density)});
+    const auto a = make_spmm_replica<float>(info.name, scale);
+    ours.add_row({info.name, fmt_int(spmm_replica_d(info.name, scale)),
+                  fmt_int(a.rows()), fmt_int(a.cols()), fmt_int(a.nnz()),
+                  fmt_sci(a.density())});
+  }
+  std::printf("%s\n", paper.render().c_str());
+  std::printf("%s\n", ours.render().c_str());
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Table VI: Algorithms 3 and 4 on synthetic matrices with exotic sparsity
+// patterns (Abnormal_A: dense rows; Abnormal_B: mass concentrated in the
+// middle vertical block; Abnormal_C: dense columns). Shows Alg3's pattern
+// obliviousness and Alg4's pattern sensitivity.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sketch/sketch.hpp"
+#include "sparse/generate.hpp"
+
+using namespace rsketch;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double alg3_compute, alg4_convert, alg4_compute;
+};
+
+// Paper Table VI (seconds; m=100000, n=10000, density ~1e-3).
+constexpr PaperRow kPaper[] = {
+    {"Abnormal_A", 8.56, 0.035, 4.40},
+    {"Abnormal_B", 8.51, 0.085, 6.10},
+    {"Abnormal_C", 8.46, 0.056, 9.43},
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "TABLE VI — exotic sparsity patterns, Algorithm 3 vs Algorithm 4",
+      "m=100000, n=10000, density ~1e-3, entries iid (-1,1)");
+  const index_t scale = bench_scale();
+  const int reps = bench_reps();
+
+  Table paper("Paper (seconds):");
+  paper.set_header({"Problem", "Algorithm", "conversion time", "compute time"});
+  for (const auto& r : kPaper) {
+    paper.add_row({r.name, "Algorithm 3", "N/A", fmt_time(r.alg3_compute)});
+    paper.add_row({r.name, "Algorithm 4", fmt_time(r.alg4_convert),
+                   fmt_time(r.alg4_compute)});
+  }
+  std::printf("%s\n", paper.render().c_str());
+
+  const index_t m = 100000 / scale;
+  const index_t n = 10000 / scale;
+  const index_t d = 3 * n;
+  // Stride stays at the paper's 1000 for rows AND columns (preserves the
+  // ~1e-3 density of all three patterns); the blocking parameters scale
+  // with the matrix so the block-count geometry — which dense columns land
+  // in which vertical block — matches the paper's.
+  const index_t stride_rows = std::min<index_t>(1000, std::max<index_t>(2, m / 4));
+  const index_t stride_cols = std::min<index_t>(1000, std::max<index_t>(2, n / 4));
+
+  struct Problem {
+    const char* name;
+    CscMatrix<float> a;
+  };
+  const Problem problems[] = {
+      {"Abnormal_A", abnormal_a<float>(m, n, stride_rows, 101)},
+      {"Abnormal_B",
+       abnormal_b<float>(m, n, 1e-3, 2998.0 / 3000.0, 102)},
+      {"Abnormal_C", abnormal_c<float>(m, n, stride_cols, 103)},
+  };
+
+  Table ours("This repo (seconds):");
+  ours.set_header({"Problem", "Algorithm", "conversion time", "compute time",
+                   "nnz", "samples"});
+  for (const auto& p : problems) {
+    SketchConfig cfg;
+    cfg.d = d;
+    cfg.dist = Dist::Uniform;
+    cfg.block_d = std::max<index_t>(64, 3000 / static_cast<index_t>(scale));
+    cfg.block_n = std::max<index_t>(8, 1200 / static_cast<index_t>(scale));
+    cfg.parallel = ParallelOver::Sequential;
+
+    DenseMatrix<float> a_hat(d, n);
+    SketchStats s3;
+    s3.total_seconds = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const auto st = sketch_into(cfg, p.a, a_hat);
+      if (st.total_seconds < s3.total_seconds) s3 = st;
+    }
+    ours.add_row({p.name, "Algorithm 3", "N/A", fmt_time(s3.total_seconds),
+                  fmt_int(p.a.nnz()),
+                  fmt_int(static_cast<long long>(s3.samples_generated))});
+
+    cfg.kernel = KernelVariant::Jki;
+    SketchStats s4;
+    s4.total_seconds = 1e300;
+    double convert = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const auto st = sketch_into(cfg, p.a, a_hat);
+      if (st.total_seconds < s4.total_seconds) s4 = st;
+      convert = std::min(convert, st.convert_seconds);
+    }
+    ours.add_row({p.name, "Algorithm 4", fmt_time(convert),
+                  fmt_time(s4.total_seconds), fmt_int(p.a.nnz()),
+                  fmt_int(static_cast<long long>(s4.samples_generated))});
+  }
+  ours.set_footnote(
+      "Shape check: Alg3's time per nonzero is identical across patterns "
+      "(pattern obliviousness; at RSKETCH_SCALE=1 the three nnz counts are "
+      "equal and absolute times match too). Alg4 wins big on Abnormal_A "
+      "(dense rows -> maximal reuse, ~100x fewer samples) but falls behind "
+      "on Abnormal_C, where the spread dense columns force it to regenerate "
+      "as many samples as Alg3 (see the samples column) while paying "
+      "scattered updates on top.");
+  std::printf("%s\n", ours.render().c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Table VIII: properties of the least-squares matrices — size, nnz,
+// cond(A), cond(AD), CSC memory — paper originals next to scaled replicas.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "solvers/least_squares.hpp"
+#include "testdata/replicas.hpp"
+
+using namespace rsketch;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  long long m, n, nnz;
+  double cond_a, cond_ad, mem_mb;
+  double density;
+};
+
+// Paper Table VIII (dimensions BEFORE transposition in the paper; here we
+// list the tall orientation used by the solvers).
+constexpr PaperRow kPaper[] = {
+    {"rail2586", 923269, 2586, 8011362, 496.00, 263.44, 135.57, 3.36e-3},
+    {"spal_004", 321696, 10203, 46168124, 39389.87, 1147.79, 741.26, 1.41e-2},
+    {"rail4284", 1096894, 4284, 11284032, 399.78, 333.87, 189.32, 2.40e-3},
+    {"rail582", 56097, 582, 402290, 185.91, 180.49, 6.89, 1.23e-2},
+    {"specular", 477976, 1442, 7647040, 2.31e14, 29.85, 122.37, 1.00e-2},
+    {"connectus", 394792, 458, 1127525, 1.27e16, 1.28e16, 21.20, 5.58e-3},
+    {"landmark", 71952, 2704, 1146848, 1.39e18, 2.30e17, 18.37, 5.89e-3},
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "TABLE VIII — properties of least-squares matrices",
+      "SuiteSparse matrices (tall orientation); cond via SVD");
+  const index_t scale = ls_scale();
+
+  Table paper("Paper:");
+  paper.set_header({"A", "m", "n", "nnz(A)", "cond(A)", "cond(AD)", "mem(A) MB",
+                    "density"});
+  for (const auto& r : kPaper) {
+    paper.add_row({r.name, fmt_int(r.m), fmt_int(r.n), fmt_int(r.nnz),
+                   fmt_sci(r.cond_a), fmt_sci(r.cond_ad),
+                   fmt_fixed(r.mem_mb, 2), fmt_sci(r.density)});
+  }
+  std::printf("%s\n", paper.render().c_str());
+
+  Table ours("This repo (replicas; cond computed densely for n <= 500):");
+  ours.set_header({"A", "m", "n", "nnz(A)", "cond(A)", "cond(AD)",
+                   "mem(A) MB", "density"});
+  for (const auto& info : ls_replica_infos()) {
+    const auto a = make_ls_replica(info.name, scale);
+    std::string cond_a = "-", cond_ad = "-";
+    if (a.cols() <= 500) {
+      cond_a = fmt_sci(cond_estimate(a));
+      cond_ad = fmt_sci(cond_estimate(a, diag_precond_scales(a)));
+    }
+    ours.add_row({info.name, fmt_int(a.rows()), fmt_int(a.cols()),
+                  fmt_int(a.nnz()), cond_a, cond_ad,
+                  fmt_fixed(static_cast<double>(a.memory_bytes()) / 1e6, 2),
+                  fmt_sci(a.density())});
+  }
+  ours.set_footnote(
+      "Shape check: rail*/spal are benign; specular's huge cond(A) collapses "
+      "under column scaling; connectus/landmark stay ill-conditioned.");
+  std::printf("%s\n", ours.render().c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table IX: runtime and iteration counts of the sparse least-squares solvers
+// (LSQR-D, SAP-QR / SAP-SVD, direct sparse QR as the SuiteSparse stand-in).
+#include <cstdio>
+
+#include "bench_ls_common.hpp"
+
+using namespace rsketch;
+using bench::LsRunResult;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double lsqrd_t;
+  int lsqrd_it;
+  double sketch_t, sap_t;
+  int sap_it;
+  double ss_t;
+};
+
+// Paper Table IX (Perlmutter, seconds). Top: SAP-QR; bottom: SAP-SVD.
+constexpr PaperRow kPaper[] = {
+    {"rail2586", 24.23, 1412, 1.17, 4.78, 87, 39.75},
+    {"spal_004", 381.23, 4830, 11.48, 66.99, 80, 508.41},
+    {"rail4284", 63.00, 2562, 2.65, 11.52, 88, 149.27},
+    {"rail582", 0.34, 477, 0.07, 0.18, 80, 0.55},
+    {"specular", 4.92, 351, 0.35, 3.43, 79, 2.04},
+    {"connectus", 0.19, 73, 0.13, 0.60, 77, 1.46},
+    {"landmark", 0.80, 462, 0.11, 9.61, 80, 3.74},
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "TABLE IX — runtime & iterations for sparse least-squares solvers",
+      "Perlmutter; LSQR tol 1e-14; SAP d=2n; SuiteSparseQR via backslash");
+
+  Table paper("Paper (seconds / iterations):");
+  paper.set_header({"A", "LSQR-D t", "LSQR-D it", "SAP sketch", "SAP t",
+                    "SAP it", "SuiteSparse t"});
+  for (const auto& r : kPaper) {
+    paper.add_row({r.name, fmt_time(r.lsqrd_t), fmt_int(r.lsqrd_it),
+                   fmt_time(r.sketch_t), fmt_time(r.sap_t), fmt_int(r.sap_it),
+                   fmt_time(r.ss_t)});
+  }
+  std::printf("%s\n", paper.render().c_str());
+
+  const auto results = bench::run_ls_suite();
+  Table ours("This repo (direct sparse Givens QR stands in for SuiteSparse):");
+  ours.set_header({"A", "factor", "LSQR-D t", "LSQR-D it", "SAP sketch",
+                   "SAP t", "SAP it", "direct t"});
+  for (const LsRunResult& r : results) {
+    ours.add_row({r.name, r.use_svd ? "SAP-SVD" : "SAP-QR",
+                  fmt_time(r.lsqrd_seconds), fmt_int(r.lsqrd_iters),
+                  fmt_time(r.sap_sketch_seconds), fmt_time(r.sap_seconds),
+                  fmt_int(r.sap_iters), fmt_time(r.direct_seconds)});
+  }
+  ours.set_footnote(
+      "Shape check: SAP iteration counts are near-constant (~60-120) across "
+      "matrices while LSQR-D's vary wildly; SAP beats the direct solver on "
+      "the highly overdetermined rail/spal problems.");
+  std::printf("%s\n", ours.render().c_str());
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Command-line utility: sketch or solve directly from Matrix Market files —
+// the "downstream user" entry point that needs no C++ at all.
+//
+//   sketch_tool sketch --in A.mtx --out Ahat.mtx [--gamma 3] [--dist pm1]
+//               [--kernel kji|jki] [--seed 42]
+//   sketch_tool solve  --in A.mtx [--rhs b.txt] [--svd] [--gamma 2]
+//   sketch_tool info   --in A.mtx
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "sketch/autotune.hpp"
+#include "sketch/sketch.hpp"
+#include "solvers/least_squares.hpp"
+#include "solvers/sap.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/ops.hpp"
+#include "support/cli.hpp"
+
+using namespace rsketch;
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s sketch --in A.mtx --out Ahat.mtx [--gamma G] "
+               "[--dist pm1|uniform|gauss] [--kernel kji|jki] [--seed S]\n"
+               "  %s solve  --in A.mtx [--rhs b.txt] [--svd] [--gamma G]\n"
+               "  %s info   --in A.mtx\n",
+               prog, prog, prog);
+  return 2;
+}
+
+Dist parse_dist(const std::string& s) {
+  if (s == "pm1") return Dist::PmOne;
+  if (s == "uniform") return Dist::Uniform;
+  if (s == "gauss") return Dist::Gaussian;
+  throw invalid_argument_error("unknown --dist '" + s + "'");
+}
+
+std::vector<double> read_vector(const std::string& path, index_t expect) {
+  std::ifstream in(path);
+  if (!in) throw io_error("cannot open rhs file '" + path + "'");
+  std::vector<double> v;
+  double x = 0.0;
+  while (in >> x) v.push_back(x);
+  require(static_cast<index_t>(v.size()) == expect,
+          "rhs length does not match the matrix row count");
+  return v;
+}
+
+int cmd_info(const CscMatrix<double>& a) {
+  std::printf("rows     %lld\n", static_cast<long long>(a.rows()));
+  std::printf("cols     %lld\n", static_cast<long long>(a.cols()));
+  std::printf("nnz      %lld\n", static_cast<long long>(a.nnz()));
+  std::printf("density  %.3e\n", a.density());
+  std::printf("mem CSC  %.2f MB\n", static_cast<double>(a.memory_bytes()) / 1e6);
+  std::printf("empty rows %lld, empty cols %lld\n",
+              static_cast<long long>(count_empty_rows(a)),
+              static_cast<long long>(count_empty_cols(a)));
+  return 0;
+}
+
+int cmd_sketch(const CliArgs& args, const CscMatrix<double>& a) {
+  const std::string out_path = args.get("out", "");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "sketch: --out is required\n");
+    return 2;
+  }
+  SketchConfig cfg;
+  cfg.d = static_cast<index_t>(args.get_double("gamma", 3.0) *
+                               static_cast<double>(a.cols()));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  cfg.dist = parse_dist(args.get("dist", "pm1"));
+  cfg.kernel =
+      args.get("kernel", "kji") == "jki" ? KernelVariant::Jki
+                                         : KernelVariant::Kji;
+  cfg.normalize = true;
+  autotune_blocks(cfg, a);
+  std::printf("sketching: d=%lld, dist=%s, kernel=%s, blocks=(%lld, %lld)\n",
+              static_cast<long long>(cfg.d), to_string(cfg.dist).c_str(),
+              to_string(cfg.kernel).c_str(),
+              static_cast<long long>(cfg.block_d),
+              static_cast<long long>(cfg.block_n));
+
+  DenseMatrix<double> a_hat;
+  const auto stats = sketch_into(cfg, a, a_hat);
+  std::printf("done in %.3f s (%.2f GFlop/s, %llu samples on the fly)\n",
+              stats.total_seconds, stats.gflops,
+              static_cast<unsigned long long>(stats.samples_generated));
+
+  // Emit the dense sketch in coordinate form for interoperability.
+  CooMatrix<double> coo(a_hat.rows(), a_hat.cols());
+  coo.reserve(a_hat.rows() * a_hat.cols());
+  for (index_t j = 0; j < a_hat.cols(); ++j) {
+    for (index_t i = 0; i < a_hat.rows(); ++i) {
+      if (a_hat(i, j) != 0.0) coo.push(i, j, a_hat(i, j));
+    }
+  }
+  write_matrix_market_file(out_path, coo_to_csc(coo));
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_solve(const CliArgs& args, CscMatrix<double> a) {
+  if (a.rows() < a.cols()) {
+    std::printf("input is wide; solving with the transpose (paper's setup)\n");
+    a = transpose(a);
+  }
+  const std::string rhs = args.get("rhs", "");
+  const std::vector<double> b = rhs.empty()
+                                    ? make_least_squares_rhs(a, 7)
+                                    : read_vector(rhs, a.rows());
+  SapOptions opt;
+  opt.factor = args.has("svd") ? SapFactor::SVD : SapFactor::QR;
+  opt.gamma = args.get_double("gamma", 2.0);
+  const auto res = sap_solve(a, b, opt);
+  std::printf("SAP-%s: %.3f s (sketch %.3f, factor %.3f, LSQR %.3f), "
+              "%lld iterations\n",
+              opt.factor == SapFactor::SVD ? "SVD" : "QR", res.total_seconds,
+              res.sketch_seconds, res.factor_seconds, res.lsqr_seconds,
+              static_cast<long long>(res.iterations));
+  std::printf("error metric ||A'(Ax-b)||/(||A||_F ||Ax-b||) = %.3e\n",
+              ls_error_metric(a, res.x, b));
+  std::printf("workspace: %.2f MB\n",
+              static_cast<double>(res.workspace_bytes) / 1e6);
+  std::printf("x[0..%d] =", static_cast<int>(std::min<index_t>(5, a.cols())));
+  for (index_t j = 0; j < std::min<index_t>(5, a.cols()); ++j) {
+    std::printf(" %.6g", res.x[static_cast<std::size_t>(j)]);
+  }
+  std::printf(" ...\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) return usage(argv[0]);
+  const std::string cmd = args.positional()[0];
+  const std::string in_path = args.get("in", "");
+  if (in_path.empty()) return usage(argv[0]);
+
+  try {
+    CscMatrix<double> a = read_matrix_market_file<double>(in_path);
+    if (cmd == "info") return cmd_info(a);
+    if (cmd == "sketch") return cmd_sketch(args, a);
+    if (cmd == "solve") return cmd_solve(args, std::move(a));
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

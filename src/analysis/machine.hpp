@@ -1,0 +1,39 @@
+// Machine characterization probes: STREAM-style bandwidth (the paper used
+// STREAMBenchmark.jl), RNG throughput (to measure h, the cost of one random
+// sample relative to one memory access), and cache size discovery.
+#pragma once
+
+#include <cstddef>
+
+#include "rng/distributions.hpp"
+#include "support/common.hpp"
+
+namespace rsketch {
+
+/// Results of the four STREAM kernels, in GB/s.
+struct StreamResult {
+  double copy_gbps = 0.0;
+  double scale_gbps = 0.0;
+  double add_gbps = 0.0;
+  double triad_gbps = 0.0;
+};
+
+/// Run STREAM copy/scale/add/triad over `elems` doubles, `reps` repetitions,
+/// reporting the best bandwidth (standard STREAM methodology).
+StreamResult stream_benchmark(index_t elems, int reps);
+
+/// Generation throughput of one (distribution, backend) pair in
+/// samples/second, measured by repeatedly filling a `vec_len` buffer — the
+/// short-vector regime the blocked kernels operate in (paper §V-A).
+double rng_throughput(Dist dist, RngBackend backend, index_t vec_len,
+                      int reps);
+
+/// Measured h: (seconds per generated sample) / (seconds per element moved),
+/// using the STREAM copy bandwidth for the denominator and 4-byte elements.
+double measure_h(Dist dist, RngBackend backend, const StreamResult& stream,
+                 index_t vec_len = 10000);
+
+/// Last-level data cache size in bytes (sysconf, with a 1 MiB fallback).
+std::size_t detect_cache_bytes();
+
+}  // namespace rsketch

@@ -1,0 +1,85 @@
+#include "analysis/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rsketch {
+
+ModelBlocks model_blocks(const RooflineParams& p, double n1) {
+  ModelBlocks b;
+  b.n1 = n1;
+  b.d1 = p.cache_elems / (2.0 * n1);
+  b.m1 = p.density > 0.0 ? p.cache_elems / (2.0 * n1 * p.density) : 0.0;
+  return b;
+}
+
+double inverse_ci(const RooflineParams& p, double n1) {
+  // Objective of problem (4) normalized by the flop count 2ρ·dmn:
+  //   (4n₁ρ/M + h(1-(1-ρ)^{n₁})/n₁) / (2ρ)
+  const double rho = p.density;
+  const double regen = 1.0 - std::pow(1.0 - rho, n1);
+  return 2.0 * n1 / p.cache_elems + p.rng_cost * regen / (2.0 * rho * n1);
+}
+
+double ci(const RooflineParams& p, double n1) {
+  return 1.0 / inverse_ci(p, n1);
+}
+
+double optimal_n1(const RooflineParams& p, double n1_max) {
+  n1_max = std::max(1.0, n1_max);
+  // Golden-section search; the objective is a sum of an increasing linear
+  // term and a decreasing term, hence unimodal on [1, n1_max].
+  constexpr double kGolden = 0.6180339887498949;
+  double lo = 1.0, hi = n1_max;
+  double x1 = hi - kGolden * (hi - lo);
+  double x2 = lo + kGolden * (hi - lo);
+  double f1 = inverse_ci(p, x1);
+  double f2 = inverse_ci(p, x2);
+  for (int it = 0; it < 120 && hi - lo > 1e-9 * n1_max; ++it) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kGolden * (hi - lo);
+      f1 = inverse_ci(p, x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kGolden * (hi - lo);
+      f2 = inverse_ci(p, x2);
+    }
+  }
+  const double cont = 0.5 * (lo + hi);
+  // Integer polish: block sizes are integers in practice.
+  double best = std::clamp(std::floor(cont), 1.0, n1_max);
+  double best_f = inverse_ci(p, best);
+  for (double cand : {std::ceil(cont), cont}) {
+    cand = std::clamp(cand, 1.0, n1_max);
+    const double f = inverse_ci(p, cand);
+    if (f < best_f) {
+      best = cand;
+      best_f = f;
+    }
+  }
+  return best;
+}
+
+double ci_small_rho(double cache_elems, double rng_cost) {
+  return 2.0 * cache_elems / (4.0 + cache_elems * rng_cost);
+}
+
+double peak_fraction(double ci_value, double machine_balance) {
+  return std::min(1.0, ci_value / machine_balance);
+}
+
+double peak_fraction_large_rho(const RooflineParams& p) {
+  return std::min(1.0, std::sqrt(p.cache_elems * p.density) /
+                           (2.0 * p.machine_balance * std::sqrt(p.rng_cost)));
+}
+
+double gemm_peak_fraction(double cache_elems, double machine_balance) {
+  return std::min(1.0, std::sqrt(cache_elems) / machine_balance);
+}
+
+}  // namespace rsketch

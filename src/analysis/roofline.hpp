@@ -1,0 +1,60 @@
+// §III-A of the paper: roofline-style model of the data-movement /
+// recomputation trade-off. Implements the optimization problem (4), its
+// closed-form corner cases (5)–(7), and a numeric optimizer for the block
+// size n₁ in between.
+//
+// Units: the cache size M is measured in matrix ELEMENTS (as in the paper's
+// one-layer cache model), h is the cost of generating one random number
+// relative to one memory access, and machine balance B is peak FLOP/s
+// divided by memory bandwidth in elements/s.
+#pragma once
+
+#include "support/common.hpp"
+
+namespace rsketch {
+
+/// Inputs of the §III-A model.
+struct RooflineParams {
+  double cache_elems = 0.0;      ///< M
+  double rng_cost = 0.0;         ///< h (h < 1 is the interesting regime)
+  double density = 0.0;          ///< ρ of the uniformly sparse model
+  double machine_balance = 0.0;  ///< B = peak flops / bandwidth (elements/s)
+};
+
+/// Block sizes implied by a choice of n₁ under the cache constraint
+/// d₁n₁ + m₁n₁ρ ≤ M with the paper's balanced split d₁n₁ = m₁n₁ρ = M/2.
+struct ModelBlocks {
+  double n1 = 0.0;
+  double d1 = 0.0;
+  double m1 = 0.0;
+};
+
+/// d₁ = M/(2n₁), m₁ = M/(2n₁ρ).
+ModelBlocks model_blocks(const RooflineParams& p, double n1);
+
+/// Reciprocal computational intensity at block size n₁, normalized per flop:
+/// (4n₁ρ/M + h(1-(1-ρ)^{n₁})/n₁) / (2ρ). Minimizing this maximizes CI.
+double inverse_ci(const RooflineParams& p, double n1);
+
+/// Computational intensity at n₁ (flops per element moved or generated).
+double ci(const RooflineParams& p, double n1);
+
+/// Numerically minimize inverse_ci over n₁ ∈ [1, n1_max] (golden-section on
+/// the unimodal objective plus an integer-neighborhood polish).
+double optimal_n1(const RooflineParams& p, double n1_max);
+
+/// Closed forms from the paper:
+/// Eq. (5): CI for ρ → 0 at n₁ = 1:  2M / (4 + Mh).
+double ci_small_rho(double cache_elems, double rng_cost);
+
+/// Eq. (6)-style theoretical fraction of peak = CI / B (capped at 1).
+double peak_fraction(double ci_value, double machine_balance);
+
+/// Eq. (7): fraction of peak for ρ → 1: sqrt(Mρ) / (2B·sqrt(h)).
+double peak_fraction_large_rho(const RooflineParams& p);
+
+/// Classic GEMM roofline fraction sqrt(M)/B — the bound the paper's scheme
+/// beats by a factor of sqrt(M) when h is small.
+double gemm_peak_fraction(double cache_elems, double machine_balance);
+
+}  // namespace rsketch

@@ -1,0 +1,46 @@
+#include "dense/blas1.hpp"
+
+#include <cmath>
+
+namespace rsketch {
+
+template <typename T>
+void axpy(index_t n, T a, const T* __restrict x, T* __restrict y) {
+#pragma omp simd
+  for (index_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+template <typename T>
+T dot(index_t n, const T* x, const T* y) {
+  T s{0};
+#pragma omp simd reduction(+ : s)
+  for (index_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+template <typename T>
+double nrm2(index_t n, const T* x) {
+  double s = 0.0;
+#pragma omp simd reduction(+ : s)
+  for (index_t i = 0; i < n; ++i) {
+    s += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+  }
+  return std::sqrt(s);
+}
+
+template <typename T>
+void scal(index_t n, T a, T* x) {
+#pragma omp simd
+  for (index_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+template void axpy<float>(index_t, float, const float*, float*);
+template void axpy<double>(index_t, double, const double*, double*);
+template float dot<float>(index_t, const float*, const float*);
+template double dot<double>(index_t, const double*, const double*);
+template double nrm2<float>(index_t, const float*);
+template double nrm2<double>(index_t, const double*);
+template void scal<float>(index_t, float, float*);
+template void scal<double>(index_t, double, double*);
+
+}  // namespace rsketch

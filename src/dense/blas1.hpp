@@ -1,0 +1,35 @@
+// Vectorizable BLAS-1 kernels. The inner loop of the paper's Algorithm 3/4
+// is exactly `axpy` over a regenerated column v of S; these free functions
+// are written so GCC auto-vectorizes them with FMA at -O2 -march=native.
+#pragma once
+
+#include "support/common.hpp"
+
+namespace rsketch {
+
+/// y[i] += a * x[i] for i in [0, n). Pointers must not alias.
+template <typename T>
+void axpy(index_t n, T a, const T* __restrict x, T* __restrict y);
+
+/// Dot product (accumulated in T).
+template <typename T>
+T dot(index_t n, const T* x, const T* y);
+
+/// Euclidean norm, accumulated in double for stability.
+template <typename T>
+double nrm2(index_t n, const T* x);
+
+/// x[i] *= a.
+template <typename T>
+void scal(index_t n, T a, T* x);
+
+extern template void axpy<float>(index_t, float, const float*, float*);
+extern template void axpy<double>(index_t, double, const double*, double*);
+extern template float dot<float>(index_t, const float*, const float*);
+extern template double dot<double>(index_t, const double*, const double*);
+extern template double nrm2<float>(index_t, const float*);
+extern template double nrm2<double>(index_t, const double*);
+extern template void scal<float>(index_t, float, float*);
+extern template void scal<double>(index_t, double, double*);
+
+}  // namespace rsketch

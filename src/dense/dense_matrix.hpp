@@ -1,0 +1,95 @@
+// Column-major dense matrix with 64-byte aligned, padded column stride.
+// This is the container for the sketch Â = S·A and for the dense factors
+// (QR, SVD) in the least-squares pipeline.
+#pragma once
+
+#include <cmath>
+
+#include "support/aligned_buffer.hpp"
+#include "support/common.hpp"
+
+namespace rsketch {
+
+/// Column-major dense matrix. Columns are contiguous; the leading dimension
+/// (`ld`) is padded to a multiple of 16 elements so every column starts
+/// 64-byte aligned — the axpy kernels rely on this.
+template <typename T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  DenseMatrix(index_t rows, index_t cols) { reset(rows, cols); }
+
+  /// Reallocate to rows×cols and zero-fill.
+  void reset(index_t rows, index_t cols) {
+    require(rows >= 0 && cols >= 0, "DenseMatrix: negative dimension");
+    rows_ = rows;
+    cols_ = cols;
+    ld_ = pad(rows);
+    buf_.reset(ld_ * cols);
+    set_zero();
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return ld_; }
+
+  T* data() { return buf_.data(); }
+  const T* data() const { return buf_.data(); }
+
+  T* col(index_t j) { return buf_.data() + j * ld_; }
+  const T* col(index_t j) const { return buf_.data() + j * ld_; }
+
+  T& operator()(index_t i, index_t j) { return buf_[i + j * ld_]; }
+  const T& operator()(index_t i, index_t j) const { return buf_[i + j * ld_]; }
+
+  void set_zero() {
+    for (index_t p = 0; p < buf_.size(); ++p) buf_[p] = T{0};
+  }
+
+  /// Frobenius norm (accumulated in double).
+  double frobenius_norm() const {
+    double s = 0.0;
+    for (index_t j = 0; j < cols_; ++j) {
+      const T* c = col(j);
+      for (index_t i = 0; i < rows_; ++i) {
+        s += static_cast<double>(c[i]) * static_cast<double>(c[i]);
+      }
+    }
+    return std::sqrt(s);
+  }
+
+  /// max |this - other| over all entries; requires equal shapes.
+  double max_abs_diff(const DenseMatrix& other) const {
+    require(rows_ == other.rows_ && cols_ == other.cols_,
+            "max_abs_diff: shape mismatch");
+    double mx = 0.0;
+    for (index_t j = 0; j < cols_; ++j) {
+      const T* x = col(j);
+      const T* y = other.col(j);
+      for (index_t i = 0; i < rows_; ++i) {
+        const double d = std::fabs(static_cast<double>(x[i]) -
+                                   static_cast<double>(y[i]));
+        if (d > mx) mx = d;
+      }
+    }
+    return mx;
+  }
+
+  std::size_t memory_bytes() const {
+    return static_cast<std::size_t>(buf_.size()) * sizeof(T);
+  }
+
+ private:
+  static index_t pad(index_t rows) {
+    constexpr index_t kPad = 64 / sizeof(T);
+    return rows == 0 ? 0 : ceil_div(rows, kPad) * kPad;
+  }
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 0;
+  AlignedBuffer<T> buf_;
+};
+
+}  // namespace rsketch

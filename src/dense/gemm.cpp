@@ -1,0 +1,88 @@
+#include "dense/gemm.hpp"
+
+#include <algorithm>
+
+#include "dense/blas1.hpp"
+
+namespace rsketch {
+
+namespace {
+
+// Cache blocking sizes tuned loosely for L1/L2; correctness is what matters
+// here, performance only needs to be adequate for n×n factors with n ≲ 4000.
+constexpr index_t kBlockM = 128;
+constexpr index_t kBlockN = 128;
+constexpr index_t kBlockK = 256;
+
+template <typename T>
+T element(const DenseMatrix<T>& x, bool trans, index_t i, index_t j) {
+  return trans ? x(j, i) : x(i, j);
+}
+
+}  // namespace
+
+template <typename T>
+void gemm(bool trans_a, bool trans_b, T alpha, const DenseMatrix<T>& a,
+          const DenseMatrix<T>& b, T beta, DenseMatrix<T>& c) {
+  const index_t m = trans_a ? a.cols() : a.rows();
+  const index_t k = trans_a ? a.rows() : a.cols();
+  const index_t kb = trans_b ? b.cols() : b.rows();
+  const index_t n = trans_b ? b.rows() : b.cols();
+  require(k == kb, "gemm: inner dimension mismatch");
+  require(c.rows() == m && c.cols() == n, "gemm: output shape mismatch");
+
+  if (beta == T{0}) {
+    c.set_zero();
+  } else if (beta != T{1}) {
+    for (index_t j = 0; j < n; ++j) scal(m, beta, c.col(j));
+  }
+  if (alpha == T{0} || m == 0 || n == 0 || k == 0) return;
+
+  // Fast path: op(A) plain, op(B) anything — axpy down columns of C.
+  if (!trans_a) {
+#pragma omp parallel for schedule(static) if (n >= 64)
+    for (index_t j0 = 0; j0 < n; j0 += kBlockN) {
+      const index_t j1 = std::min(n, j0 + kBlockN);
+      for (index_t p0 = 0; p0 < k; p0 += kBlockK) {
+        const index_t p1 = std::min(k, p0 + kBlockK);
+        for (index_t j = j0; j < j1; ++j) {
+          T* cj = c.col(j);
+          for (index_t p = p0; p < p1; ++p) {
+            const T bpj = alpha * element(b, trans_b, p, j);
+            if (bpj != T{0}) axpy(m, bpj, a.col(p), cj);
+          }
+        }
+      }
+    }
+    return;
+  }
+
+  // op(A) = Aᵀ: C[i,j] = dot(A.col(i), op(B) column j); gather with dot.
+#pragma omp parallel for schedule(static) if (n >= 64)
+  for (index_t j0 = 0; j0 < n; j0 += kBlockN) {
+    const index_t j1 = std::min(n, j0 + kBlockN);
+    for (index_t i0 = 0; i0 < m; i0 += kBlockM) {
+      const index_t i1 = std::min(m, i0 + kBlockM);
+      for (index_t j = j0; j < j1; ++j) {
+        for (index_t i = i0; i < i1; ++i) {
+          T s{0};
+          if (!trans_b) {
+            s = dot(k, a.col(i), b.col(j));
+          } else {
+            for (index_t p = 0; p < k; ++p) s += a(p, i) * b(j, p);
+          }
+          c(i, j) += alpha * s;
+        }
+      }
+    }
+  }
+}
+
+template void gemm<float>(bool, bool, float, const DenseMatrix<float>&,
+                          const DenseMatrix<float>&, float,
+                          DenseMatrix<float>&);
+template void gemm<double>(bool, bool, double, const DenseMatrix<double>&,
+                           const DenseMatrix<double>&, double,
+                           DenseMatrix<double>&);
+
+}  // namespace rsketch

@@ -1,0 +1,26 @@
+// Blocked reference GEMM. Used by the dense QR/SVD factorizations in the
+// least-squares pipeline and by tests as an independent reference for the
+// sketch product. Not intended to compete with vendor BLAS — the paper's
+// point is precisely that the sketching product should NOT be computed as a
+// GEMM against a materialized S.
+#pragma once
+
+#include "dense/dense_matrix.hpp"
+
+namespace rsketch {
+
+/// C := beta*C + alpha * op_a(A) * op_b(B), column-major. transX selects
+/// op_X(X) = X or Xᵀ. Shapes are checked against the operated dimensions.
+template <typename T>
+void gemm(bool trans_a, bool trans_b, T alpha, const DenseMatrix<T>& a,
+          const DenseMatrix<T>& b, T beta, DenseMatrix<T>& c);
+
+extern template void gemm<float>(bool, bool, float, const DenseMatrix<float>&,
+                                 const DenseMatrix<float>&, float,
+                                 DenseMatrix<float>&);
+extern template void gemm<double>(bool, bool, double,
+                                  const DenseMatrix<double>&,
+                                  const DenseMatrix<double>&, double,
+                                  DenseMatrix<double>&);
+
+}  // namespace rsketch

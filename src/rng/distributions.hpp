@@ -1,0 +1,96 @@
+// Distribution transforms and the SketchSampler — the component that turns a
+// raw bit generator into columns of the virtual random matrix S (§III-C,
+// §IV-B of the paper).
+//
+// The sketching kernels never see S as stored data; they ask the sampler to
+// overwrite a small vector v with S[r : r+n, j]. The produced values are a
+// pure function of (seed, r, j) for the Xoshiro backends (block-checkpoint
+// reproducibility) and of (seed, row, j) per entry for the Philox backend
+// (blocking-independent reproducibility, RandBLAS-style).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rng/philox.hpp"
+#include "rng/xoshiro.hpp"
+#include "rng/xoshiro_batch.hpp"
+#include "support/common.hpp"
+
+namespace rsketch {
+
+/// Entry distribution for S (paper Fig. 4 studies all five).
+enum class Dist {
+  PmOne,          ///< iid uniform over {-1, +1}; cheapest (one byte per sample)
+  Uniform,        ///< iid uniform over (-1, 1); int32 scaled by 2^-31
+  UniformScaled,  ///< the "scaling trick": raw int32 values; A is pre-scaled
+                  ///< by f = 2^-31 so (Sf)(A/f) = SA without per-sample scaling
+  Gaussian,       ///< iid N(0,1) via Box–Muller; expensive on the fly
+  Junk            ///< deterministic affine filler (h ~ 0); upper-bound ablation
+};
+
+/// Bit-generator backend used to realize the stream.
+enum class RngBackend {
+  Xoshiro,       ///< scalar Xoshiro256++, block checkpoints
+  XoshiroBatch,  ///< 8-lane batched Xoshiro256++, block checkpoints (default)
+  Philox         ///< Philox4x32-10 counter-based, per-entry addressing
+};
+
+std::string to_string(Dist d);
+std::string to_string(RngBackend b);
+
+/// Scale factor f for Dist::UniformScaled: the generated integer entries
+/// represent S/f, so the caller multiplies A (or the final product) by f.
+inline constexpr double kScalingTrickFactor = 1.0 / 2147483648.0;  // 2^-31
+
+/// Column sampler over the virtual sketching matrix S ∈ R^{d×m}.
+///
+/// fill(r, j, v, n) overwrites v[0..n) with S[r : r+n, j]. Thread safety:
+/// each thread owns its own SketchSampler (they are cheap, ~300 bytes).
+template <typename T>
+class SketchSampler {
+ public:
+  SketchSampler(std::uint64_t seed, Dist dist,
+                RngBackend backend = RngBackend::XoshiroBatch)
+      : dist_(dist),
+        backend_(backend),
+        seed_(seed),
+        scalar_(seed),
+        batch_(seed),
+        philox_(seed) {}
+
+  /// Overwrite v[0..n) with entries S[r : r+n, j].
+  void fill(index_t r, index_t j, T* v, index_t n);
+
+  Dist dist() const { return dist_; }
+  RngBackend backend() const { return backend_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Total samples produced since construction / reset_counter().
+  std::uint64_t samples_generated() const { return count_; }
+  void reset_counter() { count_ = 0; }
+
+ private:
+  void fill_xoshiro(index_t r, index_t j, T* v, index_t n);
+  void fill_batch(index_t r, index_t j, T* v, index_t n);
+  void fill_philox(index_t r, index_t j, T* v, index_t n);
+  void fill_junk(index_t r, index_t j, T* v, index_t n);
+
+  Dist dist_;
+  RngBackend backend_;
+  std::uint64_t seed_;
+  Xoshiro256pp scalar_;
+  XoshiroBatch batch_;
+  PhiloxStream philox_;
+  std::uint64_t count_ = 0;
+};
+
+extern template class SketchSampler<float>;
+extern template class SketchSampler<double>;
+
+/// E[s^2] for entries produced under distribution `d` — needed to normalize
+/// sketches (a subspace embedding wants E[s_ij^2] = 1) and by the tests.
+template <typename T>
+T dist_second_moment(Dist d);
+
+}  // namespace rsketch

@@ -1,0 +1,9 @@
+// Philox is fully inline (hot path); this TU anchors the header.
+#include "rng/philox.hpp"
+
+namespace rsketch {
+
+static_assert(Philox4x32::kRounds == 10,
+              "Philox4x32-10 is the Random123 default strength");
+
+}  // namespace rsketch

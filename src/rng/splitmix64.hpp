@@ -1,0 +1,34 @@
+// SplitMix64: the standard seeding/stream-splitting mixer recommended by the
+// Xoshiro authors (Blackman & Vigna). Used to expand a (seed, row, column)
+// checkpoint coordinate into full generator state.
+#pragma once
+
+#include <cstdint>
+
+namespace rsketch {
+
+/// One SplitMix64 step: advances `state` and returns a well-mixed 64-bit
+/// output. Successive calls starting from any state produce a high-quality
+/// stream, which makes it ideal for deriving Xoshiro state words.
+inline std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of three 64-bit words into one, used to turn the
+/// (seed, r, j) block checkpoint of the paper's `g.set_state(r, j)` into a
+/// single seeding word. Each input is passed through its own SplitMix64
+/// round so that nearby coordinates yield uncorrelated states.
+inline std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t s = a;
+  std::uint64_t out = splitmix64_next(s);
+  s ^= b + 0x9E3779B97F4A7C15ULL;
+  out ^= splitmix64_next(s);
+  s ^= c + 0xD1B54A32D192ED03ULL;
+  out ^= splitmix64_next(s);
+  return out;
+}
+
+}  // namespace rsketch

@@ -1,0 +1,123 @@
+// Xoshiro256++ and Xoshiro128++ scalar generators (Blackman & Vigna, "Scrambled
+// linear pseudorandom number generators", TOMS 2021) with the paper's
+// block-checkpoint seeking: `set_state(r, j)` re-derives the full state from
+// the sketch seed and a block coordinate in O(1), giving reproducible random
+// access into the virtual matrix S at block granularity (§IV-B of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "rng/splitmix64.hpp"
+
+namespace rsketch {
+
+/// Xoshiro256++ — 256 bits of state, 64-bit output, period 2^256 - 1.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256pp(std::uint64_t seed = 0x853C49E6748FEA9BULL) {
+    reseed(seed);
+  }
+
+  /// Reset the state deterministically from a single seed word.
+  void reseed(std::uint64_t seed) {
+    seed_ = seed;
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64_next(sm);
+  }
+
+  /// Paper's checkpoint primitive: O(1) re-derivation of the state from the
+  /// sketch seed and block coordinate (r, j). All of S's entries in the
+  /// column block anchored at (r, j) are then produced by sequential next()
+  /// calls, so the generated values depend only on (seed, r, j).
+  void set_state(std::uint64_t r, std::uint64_t j) {
+    std::uint64_t sm = mix3(seed_, r, j);
+    for (auto& w : s_) w = splitmix64_next(sm);
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  result_type operator()() { return next(); }
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// 2^128-step jump, for partitioning one stream across threads.
+  void jump();
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t seed_ = 0;
+  std::uint64_t s_[4] = {};
+};
+
+/// Xoshiro128++ — 128 bits of state, 32-bit output. Matches the 32-bit
+/// sample width the paper uses for uniform (-1,1) entries.
+class Xoshiro128pp {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Xoshiro128pp(std::uint64_t seed = 0x2545F4914F6CDD1DULL) {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) {
+    seed_ = seed;
+    std::uint64_t sm = seed;
+    for (int i = 0; i < 4; i += 2) {
+      std::uint64_t w = splitmix64_next(sm);
+      s_[i] = static_cast<std::uint32_t>(w);
+      s_[i + 1] = static_cast<std::uint32_t>(w >> 32);
+    }
+  }
+
+  /// See Xoshiro256pp::set_state.
+  void set_state(std::uint64_t r, std::uint64_t j) {
+    std::uint64_t sm = mix3(seed_, r, j);
+    for (int i = 0; i < 4; i += 2) {
+      std::uint64_t w = splitmix64_next(sm);
+      s_[i] = static_cast<std::uint32_t>(w);
+      s_[i + 1] = static_cast<std::uint32_t>(w >> 32);
+    }
+  }
+
+  std::uint32_t next() {
+    const std::uint32_t result = rotl(s_[0] + s_[3], 7) + s_[0];
+    const std::uint32_t t = s_[1] << 9;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 11);
+    return result;
+  }
+
+  result_type operator()() { return next(); }
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+ private:
+  static std::uint32_t rotl(std::uint32_t x, int k) {
+    return (x << k) | (x >> (32 - k));
+  }
+
+  std::uint64_t seed_ = 0;
+  std::uint32_t s_[4] = {};
+};
+
+}  // namespace rsketch

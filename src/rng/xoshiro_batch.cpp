@@ -1,0 +1,9 @@
+// XoshiroBatch is fully inline (hot path); this translation unit exists to
+// anchor the class and catch ODR issues early.
+#include "rng/xoshiro_batch.hpp"
+
+namespace rsketch {
+
+static_assert(XoshiroBatch::kLanes == 8, "batch width fixed at 8 lanes");
+
+}  // namespace rsketch

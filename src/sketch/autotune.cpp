@@ -1,0 +1,49 @@
+#include "sketch/autotune.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/machine.hpp"
+#include "analysis/roofline.hpp"
+
+namespace rsketch {
+
+BlockSuggestion suggest_blocks(index_t m, index_t n, index_t d, double density,
+                               std::size_t cache_bytes, double rng_cost_h,
+                               std::size_t elem_bytes) {
+  require(m >= 0 && n >= 1 && d >= 1, "suggest_blocks: bad dimensions");
+  require(elem_bytes > 0, "suggest_blocks: bad element size");
+  RooflineParams p;
+  p.cache_elems = static_cast<double>(cache_bytes) /
+                  static_cast<double>(elem_bytes);
+  p.rng_cost = std::max(1e-6, rng_cost_h);
+  p.density = std::clamp(density, 1e-12, 1.0);
+
+  const double n1 = optimal_n1(p, static_cast<double>(n));
+  const ModelBlocks mb = model_blocks(p, n1);
+
+  BlockSuggestion s;
+  s.block_n = std::clamp<index_t>(static_cast<index_t>(std::llround(n1)), 1, n);
+  // d₁ = M/(2n₁) from the balanced cache split, clamped to [64, d].
+  s.block_d = std::clamp<index_t>(static_cast<index_t>(std::llround(mb.d1)),
+                                  std::min<index_t>(64, d), d);
+  s.model_ci = ci(p, n1);
+  return s;
+}
+
+template <typename T>
+void autotune_blocks(SketchConfig& cfg, const CscMatrix<T>& a) {
+  // A short, cheap probe: one small STREAM pass + short-vector RNG timing.
+  const StreamResult stream = stream_benchmark(1 << 21, 2);
+  const double h = measure_h(cfg.dist, cfg.backend, stream);
+  const BlockSuggestion s =
+      suggest_blocks(a.rows(), a.cols(), cfg.d, a.density(),
+                     detect_cache_bytes(), h, sizeof(T));
+  cfg.block_d = s.block_d;
+  cfg.block_n = s.block_n;
+}
+
+template void autotune_blocks<float>(SketchConfig&, const CscMatrix<float>&);
+template void autotune_blocks<double>(SketchConfig&, const CscMatrix<double>&);
+
+}  // namespace rsketch

@@ -1,0 +1,38 @@
+// Model-driven block-size selection (paper §III-A, §V-B).
+//
+// The heuristic: pick n₁ (= b_n) by minimizing the §III-A reciprocal
+// computational intensity, then take b_d as large as the cache constraint
+// allows — the paper's observation that "setting b_d to larger values and
+// decreasing b_n" offloads memory traffic onto the regenerated S.
+#pragma once
+
+#include "sketch/config.hpp"
+#include "sparse/csc.hpp"
+
+namespace rsketch {
+
+/// Suggested outer blocking for Algorithm 1.
+struct BlockSuggestion {
+  index_t block_d = 0;
+  index_t block_n = 0;
+  double model_ci = 0.0;  ///< predicted computational intensity at optimum
+};
+
+/// Suggest (b_d, b_n) for a d×m·m×n sketch over a matrix of the given
+/// density, a cache of `cache_bytes`, element size `elem_bytes`, and RNG
+/// cost h (relative to a memory access; measure with measure_h()).
+BlockSuggestion suggest_blocks(index_t m, index_t n, index_t d, double density,
+                               std::size_t cache_bytes, double rng_cost_h,
+                               std::size_t elem_bytes);
+
+/// Convenience: fill cfg.block_d / cfg.block_n for matrix `a` using the
+/// detected cache size and a representative h for cfg.dist/backend.
+template <typename T>
+void autotune_blocks(SketchConfig& cfg, const CscMatrix<T>& a);
+
+extern template void autotune_blocks<float>(SketchConfig&,
+                                            const CscMatrix<float>&);
+extern template void autotune_blocks<double>(SketchConfig&,
+                                             const CscMatrix<double>&);
+
+}  // namespace rsketch

@@ -1,0 +1,65 @@
+// Public configuration and statistics types for the sketching API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rng/distributions.hpp"
+#include "support/common.hpp"
+
+namespace rsketch {
+
+/// Compute-kernel variant (paper §II-B).
+enum class KernelVariant {
+  Kji,  ///< Algorithm 3: CSC-driven, strided accesses, regenerates a column
+        ///< of S per nonzero of A; pattern-oblivious, RNG-hungry.
+  Jki   ///< Algorithm 4: blocked-CSR-driven, reuses one regenerated column
+        ///< of S across a whole row of the vertical block; fewer samples,
+        ///< sparsity-pattern-dependent access.
+};
+
+/// Which outer loop of Algorithm 1 is parallelized (§II-C).
+enum class ParallelOver {
+  Sequential,  ///< no threading
+  DBlocks,     ///< threads split the d-dimension (rows of Â) — disjoint
+               ///< row panels, no synchronization
+  NBlocks      ///< threads split the n-dimension (columns of Â and A)
+};
+
+std::string to_string(KernelVariant k);
+std::string to_string(ParallelOver p);
+
+/// Full specification of a sketch Â = S·A.
+struct SketchConfig {
+  index_t d = 0;                    ///< rows of S (sketch size), d = γ·n
+  std::uint64_t seed = 0x5EEDBA5E;  ///< sketch seed; fixes S exactly
+  Dist dist = Dist::Uniform;
+  RngBackend backend = RngBackend::XoshiroBatch;
+  KernelVariant kernel = KernelVariant::Kji;
+  index_t block_d = 3000;  ///< b_d: row-block size of Â/S
+  index_t block_n = 500;   ///< b_n: column-block size of Â/A
+  ParallelOver parallel = ParallelOver::DBlocks;
+  /// Scale Â by 1/sqrt(d·E[s²]) so S becomes a (near-)isometry on average —
+  /// what the least-squares pipeline wants.
+  bool normalize = false;
+
+  /// Throws invalid_argument_error when structurally invalid.
+  void validate(index_t m, index_t n) const {
+    require(d >= 0, "SketchConfig: d must be nonnegative");
+    require(block_d >= 1, "SketchConfig: block_d must be >= 1");
+    require(block_n >= 1, "SketchConfig: block_n must be >= 1");
+    (void)m;
+    (void)n;
+  }
+};
+
+/// Timing / counting breakdown of one sketch invocation (paper Tables III–V).
+struct SketchStats {
+  double total_seconds = 0.0;    ///< sample + multiply (excludes conversion)
+  double sample_seconds = 0.0;   ///< time inside RNG fills (instrumented runs)
+  double convert_seconds = 0.0;  ///< CSC → blocked CSR time (Alg. 4 only)
+  std::uint64_t samples_generated = 0;  ///< entries of S produced
+  double gflops = 0.0;  ///< 2·d·nnz(A) / total_seconds / 1e9
+};
+
+}  // namespace rsketch

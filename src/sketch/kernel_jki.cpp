@@ -1,0 +1,43 @@
+#include "sketch/kernel_jki.hpp"
+
+#include "dense/blas1.hpp"
+
+namespace rsketch {
+
+template <typename T>
+void kernel_jki(DenseMatrix<T>& a_hat, index_t i0, index_t d1,
+                const typename BlockedCsr<T>::Block& blk,
+                SketchSampler<T>& sampler, T* v, AccumTimer* sample_timer) {
+  const CsrMatrix<T>& csr = blk.csr;
+  const auto& row_ptr = csr.row_ptr();
+  const auto& col_idx = csr.col_idx();
+  const auto& values = csr.values();
+  const index_t m = csr.rows();
+
+  for (index_t j = 0; j < m; ++j) {
+    const index_t lo = row_ptr[static_cast<std::size_t>(j)];
+    const index_t hi = row_ptr[static_cast<std::size_t>(j) + 1];
+    if (lo == hi) continue;  // empty row: column j of S is never generated
+    // v := S[i0 : i0+d1, j], generated once and reused across the row.
+    if (sample_timer != nullptr) {
+      sample_timer->start();
+      sampler.fill(i0, j, v, d1);
+      sample_timer->stop();
+    } else {
+      sampler.fill(i0, j, v, d1);
+    }
+    for (index_t p = lo; p < hi; ++p) {
+      const index_t k = blk.col0 + col_idx[static_cast<std::size_t>(p)];
+      axpy(d1, values[static_cast<std::size_t>(p)], v, a_hat.col(k) + i0);
+    }
+  }
+}
+
+template void kernel_jki<float>(DenseMatrix<float>&, index_t, index_t,
+                                const BlockedCsr<float>::Block&,
+                                SketchSampler<float>&, float*, AccumTimer*);
+template void kernel_jki<double>(DenseMatrix<double>&, index_t, index_t,
+                                 const BlockedCsr<double>::Block&,
+                                 SketchSampler<double>&, double*, AccumTimer*);
+
+}  // namespace rsketch

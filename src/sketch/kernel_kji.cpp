@@ -1,0 +1,42 @@
+#include "sketch/kernel_kji.hpp"
+
+#include "dense/blas1.hpp"
+
+namespace rsketch {
+
+template <typename T>
+void kernel_kji(DenseMatrix<T>& a_hat, index_t i0, index_t d1, index_t j0,
+                index_t n1, const CscMatrix<T>& a, SketchSampler<T>& sampler,
+                T* v, AccumTimer* sample_timer) {
+  const auto& col_ptr = a.col_ptr();
+  const auto& row_idx = a.row_idx();
+  const auto& values = a.values();
+
+  for (index_t k = j0; k < j0 + n1; ++k) {
+    T* __restrict out = a_hat.col(k) + i0;
+    const index_t lo = col_ptr[static_cast<std::size_t>(k)];
+    const index_t hi = col_ptr[static_cast<std::size_t>(k) + 1];
+    for (index_t p = lo; p < hi; ++p) {
+      const index_t j = row_idx[static_cast<std::size_t>(p)];
+      const T ajk = values[static_cast<std::size_t>(p)];
+      // v := S[i0 : i0+d1, j] — regenerated, never read from memory.
+      if (sample_timer != nullptr) {
+        sample_timer->start();
+        sampler.fill(i0, j, v, d1);
+        sample_timer->stop();
+      } else {
+        sampler.fill(i0, j, v, d1);
+      }
+      axpy(d1, ajk, v, out);
+    }
+  }
+}
+
+template void kernel_kji<float>(DenseMatrix<float>&, index_t, index_t, index_t,
+                                index_t, const CscMatrix<float>&,
+                                SketchSampler<float>&, float*, AccumTimer*);
+template void kernel_kji<double>(DenseMatrix<double>&, index_t, index_t,
+                                 index_t, index_t, const CscMatrix<double>&,
+                                 SketchSampler<double>&, double*, AccumTimer*);
+
+}  // namespace rsketch

@@ -1,0 +1,166 @@
+#include "sketch/outer_blocking.hpp"
+
+#include <omp.h>
+
+#include "sketch/kernel_jki.hpp"
+#include "sketch/kernel_kji.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/aligned_buffer.hpp"
+#include "support/timer.hpp"
+
+namespace rsketch {
+
+namespace {
+
+/// Per-thread working state: a private sampler (the sampler is stateful) and
+/// an aligned scratch vector v of b_d elements for the regenerated column.
+template <typename T>
+struct ThreadCtx {
+  explicit ThreadCtx(const SketchConfig& cfg)
+      : sampler(cfg.seed, cfg.dist, cfg.backend), v(cfg.block_d) {}
+  SketchSampler<T> sampler;
+  AlignedBuffer<T> v;
+  AccumTimer sample_timer;
+};
+
+template <typename T>
+SketchStats collect(std::vector<ThreadCtx<T>>& ctxs, double total_seconds,
+                    index_t d, index_t nnz) {
+  SketchStats stats;
+  stats.total_seconds = total_seconds;
+  for (auto& c : ctxs) {
+    stats.samples_generated += c.sampler.samples_generated();
+    stats.sample_seconds = std::max(stats.sample_seconds,
+                                    c.sample_timer.seconds());
+  }
+  const double flops = 2.0 * static_cast<double>(d) * static_cast<double>(nnz);
+  stats.gflops = total_seconds > 0 ? flops / total_seconds / 1e9 : 0.0;
+  return stats;
+}
+
+}  // namespace
+
+template <typename T>
+SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
+                               DenseMatrix<T>& a_hat, bool instrument) {
+  cfg.validate(a.rows(), a.cols());
+  require(a_hat.rows() == cfg.d && a_hat.cols() == a.cols(),
+          "sketch_blocked_kji: a_hat must be d x n");
+  const index_t d = cfg.d;
+  const index_t n = a.cols();
+  const index_t bd = std::min(cfg.block_d, std::max<index_t>(d, 1));
+  const index_t bn = std::min(cfg.block_n, std::max<index_t>(n, 1));
+  const index_t n_iblocks = d == 0 ? 0 : ceil_div(d, bd);
+  const index_t n_jblocks = n == 0 ? 0 : ceil_div(n, bn);
+
+  a_hat.set_zero();
+  const int nthreads =
+      cfg.parallel == ParallelOver::Sequential ? 1 : omp_get_max_threads();
+  std::vector<ThreadCtx<T>> ctxs;
+  ctxs.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) ctxs.emplace_back(cfg);
+
+  Timer timer;
+  if (cfg.parallel == ParallelOver::NBlocks) {
+    // Threads own disjoint column panels of Â; no synchronization needed.
+#pragma omp parallel for schedule(dynamic) num_threads(nthreads)
+    for (index_t jb = 0; jb < n_jblocks; ++jb) {
+      auto& ctx = ctxs[static_cast<std::size_t>(omp_get_thread_num())];
+      const index_t j0 = jb * bn;
+      const index_t n1 = std::min(bn, n - j0);
+      for (index_t ib = 0; ib < n_iblocks; ++ib) {
+        const index_t i0 = ib * bd;
+        const index_t d1 = std::min(bd, d - i0);
+        kernel_kji(a_hat, i0, d1, j0, n1, a, ctx.sampler, ctx.v.data(),
+                   instrument ? &ctx.sample_timer : nullptr);
+      }
+    }
+  } else {
+    // Algorithm 1 loop order: columns outermost (cache the sparse data and
+    // the active column panel of Â), row blocks inner. Threads split the
+    // inner d-loop — disjoint row panels of Â.
+#pragma omp parallel num_threads(nthreads) if (nthreads > 1)
+    {
+      auto& ctx = ctxs[static_cast<std::size_t>(omp_get_thread_num())];
+      for (index_t jb = 0; jb < n_jblocks; ++jb) {
+        const index_t j0 = jb * bn;
+        const index_t n1 = std::min(bn, n - j0);
+#pragma omp for schedule(static) nowait
+        for (index_t ib = 0; ib < n_iblocks; ++ib) {
+          const index_t i0 = ib * bd;
+          const index_t d1 = std::min(bd, d - i0);
+          kernel_kji(a_hat, i0, d1, j0, n1, a, ctx.sampler, ctx.v.data(),
+                     instrument ? &ctx.sample_timer : nullptr);
+        }
+      }
+    }
+  }
+  return collect(ctxs, timer.seconds(), d, a.nnz());
+}
+
+template <typename T>
+SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
+                               DenseMatrix<T>& a_hat, bool instrument) {
+  cfg.validate(ab.rows(), ab.cols());
+  require(a_hat.rows() == cfg.d && a_hat.cols() == ab.cols(),
+          "sketch_blocked_jki: a_hat must be d x n");
+  const index_t d = cfg.d;
+  const index_t bd = std::min(cfg.block_d, std::max<index_t>(d, 1));
+  const index_t n_iblocks = d == 0 ? 0 : ceil_div(d, bd);
+  const index_t n_jblocks = ab.num_blocks();
+
+  a_hat.set_zero();
+  const int nthreads =
+      cfg.parallel == ParallelOver::Sequential ? 1 : omp_get_max_threads();
+  std::vector<ThreadCtx<T>> ctxs;
+  ctxs.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) ctxs.emplace_back(cfg);
+
+  Timer timer;
+  if (cfg.parallel == ParallelOver::NBlocks) {
+    // Each vertical block updates only its own column slab of Â.
+#pragma omp parallel for schedule(dynamic) num_threads(nthreads)
+    for (index_t jb = 0; jb < n_jblocks; ++jb) {
+      auto& ctx = ctxs[static_cast<std::size_t>(omp_get_thread_num())];
+      for (index_t ib = 0; ib < n_iblocks; ++ib) {
+        const index_t i0 = ib * bd;
+        const index_t d1 = std::min(bd, d - i0);
+        kernel_jki(a_hat, i0, d1, ab.block(jb), ctx.sampler, ctx.v.data(),
+                   instrument ? &ctx.sample_timer : nullptr);
+      }
+    }
+  } else {
+#pragma omp parallel num_threads(nthreads) if (nthreads > 1)
+    {
+      auto& ctx = ctxs[static_cast<std::size_t>(omp_get_thread_num())];
+      for (index_t jb = 0; jb < n_jblocks; ++jb) {
+#pragma omp for schedule(static) nowait
+        for (index_t ib = 0; ib < n_iblocks; ++ib) {
+          const index_t i0 = ib * bd;
+          const index_t d1 = std::min(bd, d - i0);
+          kernel_jki(a_hat, i0, d1, ab.block(jb), ctx.sampler, ctx.v.data(),
+                     instrument ? &ctx.sample_timer : nullptr);
+        }
+      }
+    }
+  }
+  return collect(ctxs, timer.seconds(), d, ab.nnz());
+}
+
+template SketchStats sketch_blocked_kji<float>(const SketchConfig&,
+                                               const CscMatrix<float>&,
+                                               DenseMatrix<float>&, bool);
+template SketchStats sketch_blocked_kji<double>(const SketchConfig&,
+                                                const CscMatrix<double>&,
+                                                DenseMatrix<double>&, bool);
+template SketchStats sketch_blocked_jki<float>(const SketchConfig&,
+                                               const BlockedCsr<float>&,
+                                               DenseMatrix<float>&, bool);
+template SketchStats sketch_blocked_jki<double>(const SketchConfig&,
+                                                const BlockedCsr<double>&,
+                                                DenseMatrix<double>&, bool);
+
+}  // namespace rsketch

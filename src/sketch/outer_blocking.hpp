@@ -1,0 +1,42 @@
+// Algorithm 1 of the paper: the (⌈d/b_d⌉, 1, ⌈n/b_n⌉) outer blocking loop
+// that drives a compute kernel over block pairs, with OpenMP parallelism
+// over either outer loop (§II-C).
+#pragma once
+
+#include "dense/dense_matrix.hpp"
+#include "sketch/config.hpp"
+#include "sparse/blocked_csr.hpp"
+#include "sparse/csc.hpp"
+
+namespace rsketch {
+
+/// Run Algorithm 1 with the kji kernel (Algorithm 3). `a_hat` must be
+/// pre-sized to d × n and is overwritten. When `instrument` is true the
+/// returned stats include sample_seconds (adds timer overhead, as the paper
+/// notes for Tables III/V).
+template <typename T>
+SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
+                               DenseMatrix<T>& a_hat, bool instrument = false);
+
+/// Run Algorithm 1 with the jki kernel (Algorithm 4) over a pre-built
+/// blocked-CSR matrix. The vertical block width of `ab` plays the role of
+/// b_n; cfg.block_n is ignored here.
+template <typename T>
+SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
+                               DenseMatrix<T>& a_hat, bool instrument = false);
+
+extern template SketchStats sketch_blocked_kji<float>(const SketchConfig&,
+                                                      const CscMatrix<float>&,
+                                                      DenseMatrix<float>&,
+                                                      bool);
+extern template SketchStats sketch_blocked_kji<double>(
+    const SketchConfig&, const CscMatrix<double>&, DenseMatrix<double>&, bool);
+extern template SketchStats sketch_blocked_jki<float>(const SketchConfig&,
+                                                      const BlockedCsr<float>&,
+                                                      DenseMatrix<float>&,
+                                                      bool);
+extern template SketchStats sketch_blocked_jki<double>(
+    const SketchConfig&, const BlockedCsr<double>&, DenseMatrix<double>&,
+    bool);
+
+}  // namespace rsketch

@@ -1,0 +1,137 @@
+#include "sketch/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dense/blas1.hpp"
+#include "sketch/outer_blocking.hpp"
+#include "support/timer.hpp"
+
+namespace rsketch {
+
+std::string to_string(KernelVariant k) {
+  switch (k) {
+    case KernelVariant::Kji: return "kji (Alg 3)";
+    case KernelVariant::Jki: return "jki (Alg 4)";
+  }
+  return "?";
+}
+
+std::string to_string(ParallelOver p) {
+  switch (p) {
+    case ParallelOver::Sequential: return "sequential";
+    case ParallelOver::DBlocks: return "parallel-d";
+    case ParallelOver::NBlocks: return "parallel-n";
+  }
+  return "?";
+}
+
+template <typename T>
+T sketch_post_scale(const SketchConfig& cfg) {
+  double s = 1.0;
+  if (cfg.dist == Dist::UniformScaled) s *= kScalingTrickFactor;
+  if (cfg.normalize) {
+    // After the trick's factor, entries are effectively uniform(-1,1), whose
+    // second moment is 1/3 — not the raw int32 moment.
+    const double m2 = cfg.dist == Dist::UniformScaled
+                          ? 1.0 / 3.0
+                          : static_cast<double>(dist_second_moment<T>(cfg.dist));
+    s /= std::sqrt(static_cast<double>(cfg.d) * m2);
+  }
+  return static_cast<T>(s);
+}
+
+namespace {
+
+template <typename T>
+void apply_post_scale(const SketchConfig& cfg, DenseMatrix<T>& a_hat) {
+  const T s = sketch_post_scale<T>(cfg);
+  if (s == T{1}) return;
+  for (index_t j = 0; j < a_hat.cols(); ++j) scal(a_hat.rows(), s, a_hat.col(j));
+}
+
+}  // namespace
+
+template <typename T>
+SketchStats sketch_into(const SketchConfig& cfg, const CscMatrix<T>& a,
+                        DenseMatrix<T>& a_hat, bool instrument) {
+  cfg.validate(a.rows(), a.cols());
+  if (a_hat.rows() != cfg.d || a_hat.cols() != a.cols()) {
+    a_hat.reset(cfg.d, a.cols());
+  }
+  SketchStats stats;
+  if (cfg.kernel == KernelVariant::Kji) {
+    stats = sketch_blocked_kji(cfg, a, a_hat, instrument);
+  } else {
+    Timer convert;
+    const BlockedCsr<T> ab =
+        cfg.parallel == ParallelOver::Sequential
+            ? BlockedCsr<T>::from_csc(a, cfg.block_n)
+            : BlockedCsr<T>::from_csc_parallel(a, cfg.block_n);
+    const double convert_seconds = convert.seconds();
+    stats = sketch_blocked_jki(cfg, ab, a_hat, instrument);
+    stats.convert_seconds = convert_seconds;
+  }
+  apply_post_scale(cfg, a_hat);
+  return stats;
+}
+
+template <typename T>
+DenseMatrix<T> sketch(const SketchConfig& cfg, const CscMatrix<T>& a) {
+  DenseMatrix<T> a_hat(cfg.d, a.cols());
+  sketch_into(cfg, a, a_hat);
+  return a_hat;
+}
+
+template <typename T>
+SketchStats sketch_into_prepartitioned(const SketchConfig& cfg,
+                                       const BlockedCsr<T>& ab,
+                                       DenseMatrix<T>& a_hat,
+                                       bool instrument) {
+  if (a_hat.rows() != cfg.d || a_hat.cols() != ab.cols()) {
+    a_hat.reset(cfg.d, ab.cols());
+  }
+  SketchStats stats = sketch_blocked_jki(cfg, ab, a_hat, instrument);
+  apply_post_scale(cfg, a_hat);
+  return stats;
+}
+
+template <typename T>
+DenseMatrix<T> materialize_S(const SketchConfig& cfg, index_t m) {
+  DenseMatrix<T> s(cfg.d, m);
+  const index_t d = cfg.d;
+  // Reproduce the kernels' effective block size clamping so the checkpoint
+  // coordinates (i0, j) match exactly.
+  const index_t bd = std::min(cfg.block_d, std::max<index_t>(d, 1));
+  SketchSampler<T> sampler(cfg.seed, cfg.dist, cfg.backend);
+  std::vector<T> v(static_cast<std::size_t>(bd));
+  for (index_t j = 0; j < m; ++j) {
+    for (index_t i0 = 0; i0 < d; i0 += bd) {
+      const index_t d1 = std::min(bd, d - i0);
+      sampler.fill(i0, j, v.data(), d1);
+      for (index_t i = 0; i < d1; ++i) s(i0 + i, j) = v[static_cast<std::size_t>(i)];
+    }
+  }
+  const T scale = sketch_post_scale<T>(cfg);
+  if (scale != T{1}) {
+    for (index_t j = 0; j < m; ++j) scal(s.rows(), scale, s.col(j));
+  }
+  return s;
+}
+
+#define RSKETCH_INSTANTIATE(T)                                               \
+  template T sketch_post_scale<T>(const SketchConfig&);                      \
+  template SketchStats sketch_into<T>(const SketchConfig&,                   \
+                                      const CscMatrix<T>&, DenseMatrix<T>&,  \
+                                      bool);                                 \
+  template DenseMatrix<T> sketch<T>(const SketchConfig&,                     \
+                                    const CscMatrix<T>&);                    \
+  template SketchStats sketch_into_prepartitioned<T>(                        \
+      const SketchConfig&, const BlockedCsr<T>&, DenseMatrix<T>&, bool);     \
+  template DenseMatrix<T> materialize_S<T>(const SketchConfig&, index_t);
+
+RSKETCH_INSTANTIATE(float)
+RSKETCH_INSTANTIATE(double)
+#undef RSKETCH_INSTANTIATE
+
+}  // namespace rsketch

@@ -1,0 +1,64 @@
+#include "sketch/streaming.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "dense/blas1.hpp"
+#include "sketch/sketch.hpp"
+#include "support/timer.hpp"
+
+namespace rsketch {
+
+template <typename T>
+SketchStats streaming_sketch(const SketchConfig& cfg, const CsrMatrix<T>& a,
+                             DenseMatrix<T>& a_hat) {
+  cfg.validate(a.rows(), a.cols());
+  if (a_hat.rows() != cfg.d || a_hat.cols() != a.cols()) {
+    a_hat.reset(cfg.d, a.cols());
+  } else {
+    a_hat.set_zero();
+  }
+  const index_t d = cfg.d;
+  const index_t bd = std::min(cfg.block_d, std::max<index_t>(d, 1));
+  SketchSampler<T> sampler(cfg.seed, cfg.dist, cfg.backend);
+  std::vector<T> v(static_cast<std::size_t>(d));
+
+  Timer timer;
+  for (index_t j = 0; j < a.rows(); ++j) {
+    const index_t lo = a.row_ptr()[static_cast<std::size_t>(j)];
+    const index_t hi = a.row_ptr()[static_cast<std::size_t>(j) + 1];
+    if (lo == hi) continue;
+    // Generate the full column S[:, j] in b_d-sized checkpointed chunks so
+    // the values match the blocked kernels bit-for-bit.
+    for (index_t i0 = 0; i0 < d; i0 += bd) {
+      sampler.fill(i0, j, v.data() + i0, std::min(bd, d - i0));
+    }
+    for (index_t p = lo; p < hi; ++p) {
+      const index_t k = a.col_idx()[static_cast<std::size_t>(p)];
+      axpy(d, a.values()[static_cast<std::size_t>(p)], v.data(), a_hat.col(k));
+    }
+  }
+
+  SketchStats stats;
+  stats.total_seconds = timer.seconds();
+  stats.samples_generated = sampler.samples_generated();
+  const double flops = 2.0 * static_cast<double>(d) * static_cast<double>(a.nnz());
+  stats.gflops = stats.total_seconds > 0 ? flops / stats.total_seconds / 1e9 : 0.0;
+
+  const T scale = sketch_post_scale<T>(cfg);
+  if (scale != T{1}) {
+    for (index_t k = 0; k < a_hat.cols(); ++k) {
+      scal(a_hat.rows(), scale, a_hat.col(k));
+    }
+  }
+  return stats;
+}
+
+template SketchStats streaming_sketch<float>(const SketchConfig&,
+                                             const CsrMatrix<float>&,
+                                             DenseMatrix<float>&);
+template SketchStats streaming_sketch<double>(const SketchConfig&,
+                                              const CsrMatrix<double>&,
+                                              DenseMatrix<double>&);
+
+}  // namespace rsketch

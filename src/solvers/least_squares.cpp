@@ -1,0 +1,158 @@
+#include "solvers/least_squares.hpp"
+
+#include <cmath>
+
+#include "dense/blas1.hpp"
+#include "dense/dense_matrix.hpp"
+#include "rng/distributions.hpp"
+#include "solvers/svd.hpp"
+#include "sparse/ops.hpp"
+#include "support/timer.hpp"
+
+namespace rsketch {
+
+template <typename T>
+std::vector<T> make_least_squares_rhs(const CscMatrix<T>& a,
+                                      std::uint64_t seed) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  SketchSampler<T> gauss(seed, Dist::Gaussian, RngBackend::Xoshiro);
+  std::vector<T> w(static_cast<std::size_t>(n));
+  gauss.fill(0, 0, w.data(), n);
+  std::vector<T> b(static_cast<std::size_t>(m), T{0});
+  spmv(a, w.data(), b.data());
+  // Scale the range component to unit column scale so neither term dwarfs
+  // the other, then add N(0, I) noise (the paper's construction).
+  std::vector<T> noise(static_cast<std::size_t>(m));
+  gauss.fill(0, 1, noise.data(), m);
+  for (index_t i = 0; i < m; ++i) b[static_cast<std::size_t>(i)] += noise[static_cast<std::size_t>(i)];
+  return b;
+}
+
+template <typename T>
+double ls_error_metric(const CscMatrix<T>& a, const std::vector<T>& x,
+                       const std::vector<T>& b) {
+  require(static_cast<index_t>(x.size()) == a.cols() &&
+              static_cast<index_t>(b.size()) == a.rows(),
+          "ls_error_metric: dimension mismatch");
+  std::vector<T> r(b);
+  spmv(a, x.data(), r.data(), T{-1}, T{1});  // r = b - A x (sign irrelevant)
+  const double rnorm = nrm2(a.rows(), r.data());
+  if (rnorm == 0.0) return 0.0;
+  std::vector<T> atr(static_cast<std::size_t>(a.cols()));
+  spmv_transpose(a, r.data(), atr.data());
+  const double atrnorm = nrm2(a.cols(), atr.data());
+  const double afro = static_cast<double>(frobenius_norm(a));
+  return afro > 0.0 ? atrnorm / (afro * rnorm) : 0.0;
+}
+
+template <typename T>
+std::vector<T> diag_precond_scales(const CscMatrix<T>& a) {
+  const std::vector<T> norms = column_norms(a);
+  T max_norm{0};
+  for (T v : norms) max_norm = std::max(max_norm, v);
+  const double eps_cut =
+      std::numeric_limits<T>::epsilon() *
+      std::sqrt(static_cast<double>(a.cols())) * static_cast<double>(max_norm);
+  std::vector<T> scales(norms.size());
+  for (std::size_t j = 0; j < norms.size(); ++j) {
+    scales[j] = static_cast<double>(norms[j]) <= eps_cut
+                    ? T{1}
+                    : static_cast<T>(1.0 / static_cast<double>(norms[j]));
+  }
+  return scales;
+}
+
+template <typename T>
+IterativeSolveResult<T> lsqr_diag_precond(const CscMatrix<T>& a,
+                                          const std::vector<T>& b,
+                                          const LsqrOptions& options) {
+  require(static_cast<index_t>(b.size()) == a.rows(),
+          "lsqr_diag_precond: rhs length mismatch");
+  const std::vector<T> scales = diag_precond_scales(a);
+  const index_t n = a.cols();
+
+  Timer timer;
+  LinearOperator<T> op;
+  op.rows = a.rows();
+  op.cols = n;
+  std::vector<T> scratch(static_cast<std::size_t>(n));
+  op.apply = [&a, &scales, &scratch, n](const T* x, T* y) {
+    for (index_t j = 0; j < n; ++j) {
+      scratch[static_cast<std::size_t>(j)] =
+          x[j] * scales[static_cast<std::size_t>(j)];
+    }
+    spmv(a, scratch.data(), y);
+  };
+  op.apply_adjoint = [&a, &scales, n](const T* x, T* y) {
+    spmv_transpose(a, x, y);
+    for (index_t j = 0; j < n; ++j) y[j] *= scales[static_cast<std::size_t>(j)];
+  };
+
+  LsqrResult<T> res = lsqr(op, b.data(), options);
+
+  IterativeSolveResult<T> out;
+  out.iterations = res.iterations;
+  out.converged = res.converged;
+  out.x.resize(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    out.x[static_cast<std::size_t>(j)] =
+        res.x[static_cast<std::size_t>(j)] * scales[static_cast<std::size_t>(j)];
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+template <typename T>
+double cond_estimate(const CscMatrix<T>& a, const std::vector<T>& scales) {
+  // Densify (small problems only) and take the Jacobi SVD extremes.
+  DenseMatrix<T> dense(a.rows(), a.cols());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const T s = scales.empty() ? T{1} : scales[static_cast<std::size_t>(j)];
+    for (index_t p = a.col_ptr()[static_cast<std::size_t>(j)];
+         p < a.col_ptr()[static_cast<std::size_t>(j) + 1]; ++p) {
+      dense(a.row_idx()[static_cast<std::size_t>(p)], j) =
+          a.values()[static_cast<std::size_t>(p)] * s;
+    }
+  }
+  SvdResult<T> svd = jacobi_svd(std::move(dense));
+  const double smax = static_cast<double>(svd.sigma.front());
+  double smin = 0.0;
+  for (auto it = svd.sigma.rbegin(); it != svd.sigma.rend(); ++it) {
+    if (static_cast<double>(*it) > 0.0) {
+      smin = static_cast<double>(*it);
+      break;
+    }
+  }
+  return smin > 0.0 ? smax / smin : std::numeric_limits<double>::infinity();
+}
+
+template <typename T>
+LinearOperator<T> csc_operator(const CscMatrix<T>& a) {
+  LinearOperator<T> op;
+  op.rows = a.rows();
+  op.cols = a.cols();
+  const CscMatrix<T>* ap = &a;
+  op.apply = [ap](const T* x, T* y) { spmv(*ap, x, y); };
+  op.apply_adjoint = [ap](const T* x, T* y) { spmv_transpose(*ap, x, y); };
+  return op;
+}
+
+#define RSKETCH_INSTANTIATE(T)                                              \
+  template std::vector<T> make_least_squares_rhs<T>(const CscMatrix<T>&,    \
+                                                    std::uint64_t);         \
+  template double ls_error_metric<T>(const CscMatrix<T>&,                   \
+                                     const std::vector<T>&,                 \
+                                     const std::vector<T>&);                \
+  template std::vector<T> diag_precond_scales<T>(const CscMatrix<T>&);      \
+  template IterativeSolveResult<T> lsqr_diag_precond<T>(                    \
+      const CscMatrix<T>&, const std::vector<T>&, const LsqrOptions&);      \
+  template double cond_estimate<T>(const CscMatrix<T>&,                     \
+                                   const std::vector<T>&);                  \
+  template LinearOperator<T> csc_operator<T>(const CscMatrix<T>&);
+
+RSKETCH_INSTANTIATE(float)
+RSKETCH_INSTANTIATE(double)
+#undef RSKETCH_INSTANTIATE
+
+}  // namespace rsketch

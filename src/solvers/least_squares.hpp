@@ -1,0 +1,55 @@
+// Least-squares problem utilities shared by all three solver families of
+// §V-C: right-hand-side construction, the paper's backward-error metric,
+// and the classical LSQR-D baseline (diagonally preconditioned LSQR).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "solvers/lsqr.hpp"
+#include "sparse/csc.hpp"
+
+namespace rsketch {
+
+/// The paper's rhs: b = A·w (a vector in range(A)) plus N(0, I) noise.
+template <typename T>
+std::vector<T> make_least_squares_rhs(const CscMatrix<T>& a,
+                                      std::uint64_t seed);
+
+/// The paper's error metric: ‖Aᵀ(Ax − b)‖₂ / (‖A‖_F · ‖Ax − b‖₂).
+/// Returns 0 when the residual is exactly zero.
+template <typename T>
+double ls_error_metric(const CscMatrix<T>& a, const std::vector<T>& x,
+                       const std::vector<T>& b);
+
+template <typename T>
+struct IterativeSolveResult {
+  std::vector<T> x;
+  index_t iterations = 0;
+  bool converged = false;
+  double seconds = 0.0;
+};
+
+/// LSQR-D: LSQR with the diagonal column-norm preconditioner
+/// D_ii = 1/‖A_i‖₂ (D_ii = 1 for negligible columns, as in §V-C1).
+template <typename T>
+IterativeSolveResult<T> lsqr_diag_precond(const CscMatrix<T>& a,
+                                          const std::vector<T>& b,
+                                          const LsqrOptions& options = {});
+
+/// The diagonal scaling itself (exposed so Table VIII can report cond(AD)).
+template <typename T>
+std::vector<T> diag_precond_scales(const CscMatrix<T>& a);
+
+/// Condition-number estimate of A·diag(scales) (or of A when scales is
+/// empty) via dense Jacobi SVD of an explicitly formed matrix — only valid
+/// for small test problems; cost O(m·n²).
+template <typename T>
+double cond_estimate(const CscMatrix<T>& a, const std::vector<T>& scales = {});
+
+/// Plain (unpreconditioned) LSQR operator for a CSC matrix — building block
+/// used by the baselines and tests.
+template <typename T>
+LinearOperator<T> csc_operator(const CscMatrix<T>& a);
+
+}  // namespace rsketch

@@ -1,0 +1,125 @@
+#include "solvers/lsqr.hpp"
+
+#include <cmath>
+
+#include "dense/blas1.hpp"
+
+namespace rsketch {
+
+template <typename T>
+LsqrResult<T> lsqr(const LinearOperator<T>& op, const T* b,
+                   const LsqrOptions& options) {
+  require(static_cast<bool>(op.apply) && static_cast<bool>(op.apply_adjoint),
+          "lsqr: operator callbacks must be set");
+  const index_t m = op.rows;
+  const index_t n = op.cols;
+  const index_t max_iter =
+      options.max_iter > 0 ? options.max_iter : 4 * std::max<index_t>(n, 1);
+
+  LsqrResult<T> out;
+  out.x.assign(static_cast<std::size_t>(n), T{0});
+  if (m == 0 || n == 0) {
+    out.converged = true;
+    return out;
+  }
+
+  std::vector<T> u(b, b + m);
+  std::vector<T> v(static_cast<std::size_t>(n), T{0});
+  std::vector<T> w(static_cast<std::size_t>(n), T{0});
+  std::vector<T> tmp_m(static_cast<std::size_t>(m), T{0});
+  std::vector<T> tmp_n(static_cast<std::size_t>(n), T{0});
+
+  // --- Golub–Kahan bidiagonalization initialization ---
+  double beta = nrm2(m, u.data());
+  if (beta == 0.0) {
+    out.converged = true;  // b = 0 → x = 0
+    return out;
+  }
+  scal(m, static_cast<T>(1.0 / beta), u.data());
+  op.apply_adjoint(u.data(), v.data());
+  double alpha = nrm2(n, v.data());
+  if (alpha == 0.0) {
+    out.converged = true;  // b ⟂ range(Op)
+    return out;
+  }
+  scal(n, static_cast<T>(1.0 / alpha), v.data());
+  w = v;
+
+  double phibar = beta;
+  double rhobar = alpha;
+  double anorm2 = alpha * alpha;
+  // Stagnation guard: at very tight tolerances the arnorm estimate can
+  // plateau at the rounding floor; stop burning iterations once it has not
+  // improved for a long stretch.
+  double best_arnorm_rel = 1e300;
+  int stall = 0;
+
+  for (index_t it = 1; it <= max_iter; ++it) {
+    // u := Op·v - alpha·u,  beta := ‖u‖
+    op.apply(v.data(), tmp_m.data());
+    for (index_t i = 0; i < m; ++i) {
+      u[static_cast<std::size_t>(i)] =
+          tmp_m[static_cast<std::size_t>(i)] -
+          static_cast<T>(alpha) * u[static_cast<std::size_t>(i)];
+    }
+    beta = nrm2(m, u.data());
+    if (beta > 0.0) scal(m, static_cast<T>(1.0 / beta), u.data());
+
+    // v := Opᵀ·u - beta·v,  alpha := ‖v‖
+    op.apply_adjoint(u.data(), tmp_n.data());
+    for (index_t i = 0; i < n; ++i) {
+      v[static_cast<std::size_t>(i)] =
+          tmp_n[static_cast<std::size_t>(i)] -
+          static_cast<T>(beta) * v[static_cast<std::size_t>(i)];
+    }
+    alpha = nrm2(n, v.data());
+    if (alpha > 0.0) scal(n, static_cast<T>(1.0 / alpha), v.data());
+
+    anorm2 += alpha * alpha + beta * beta;
+
+    // Givens rotation eliminating beta from the lower bidiagonal.
+    const double rho = std::hypot(rhobar, beta);
+    const double c = rhobar / rho;
+    const double s = beta / rho;
+    const double theta = s * alpha;
+    rhobar = -c * alpha;
+    const double phi = c * phibar;
+    phibar = s * phibar;
+
+    // x := x + (phi/rho)·w;  w := v - (theta/rho)·w
+    const T t1 = static_cast<T>(phi / rho);
+    const T t2 = static_cast<T>(-theta / rho);
+    for (index_t i = 0; i < n; ++i) {
+      out.x[static_cast<std::size_t>(i)] += t1 * w[static_cast<std::size_t>(i)];
+      w[static_cast<std::size_t>(i)] =
+          v[static_cast<std::size_t>(i)] + t2 * w[static_cast<std::size_t>(i)];
+    }
+
+    out.iterations = it;
+    out.rnorm = phibar;
+    const double arnorm = phibar * alpha * std::fabs(c);
+    const double anorm = std::sqrt(anorm2);
+    out.arnorm_rel =
+        (anorm > 0.0 && phibar > 0.0) ? arnorm / (anorm * phibar) : 0.0;
+    if (out.arnorm_rel <= options.tol || phibar == 0.0) {
+      out.converged = true;
+      break;
+    }
+    if (out.arnorm_rel < 0.999 * best_arnorm_rel) {
+      best_arnorm_rel = out.arnorm_rel;
+      stall = 0;
+    } else if (++stall > 200) {
+      break;  // rounding floor reached; solution no longer improving
+    }
+  }
+  return out;
+}
+
+template struct LinearOperator<float>;
+template struct LinearOperator<double>;
+template LsqrResult<float> lsqr<float>(const LinearOperator<float>&,
+                                       const float*, const LsqrOptions&);
+template LsqrResult<double> lsqr<double>(const LinearOperator<double>&,
+                                         const double*, const LsqrOptions&);
+
+}  // namespace rsketch

@@ -1,0 +1,53 @@
+// LSQR (Paige & Saunders, TOMS 1982) on an abstract linear operator — the
+// iterative core of both the SAP solver and the LSQR-D classical baseline.
+// Right preconditioning is expressed by composing operators: LSQR solves
+// min ‖(A·N)y - b‖ and the caller recovers x = N·y.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace rsketch {
+
+/// Matrix-free operator: y := Op·x and y := Opᵀ·x.
+template <typename T>
+struct LinearOperator {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::function<void(const T* x, T* y)> apply;          ///< y = Op x
+  std::function<void(const T* x, T* y)> apply_adjoint;  ///< y = Opᵀ x
+};
+
+struct LsqrOptions {
+  /// Stop when ‖Opᵀr‖ / (‖Op‖_F·‖r‖) ≤ tol (LSQR's internal estimate) —
+  /// the paper runs to 1e-14 for fair comparison with a direct method.
+  double tol = 1e-14;
+  index_t max_iter = 0;  ///< 0 → 4·cols
+};
+
+template <typename T>
+struct LsqrResult {
+  std::vector<T> x;        ///< solution in the operator's column space
+  index_t iterations = 0;
+  bool converged = false;
+  double arnorm_rel = 0.0;  ///< final ‖Opᵀr‖/(‖Op‖·‖r‖) estimate
+  double rnorm = 0.0;       ///< final ‖r‖ estimate
+};
+
+/// Run LSQR on min ‖Op·x - b‖₂. b has length op.rows.
+template <typename T>
+LsqrResult<T> lsqr(const LinearOperator<T>& op, const T* b,
+                   const LsqrOptions& options = {});
+
+extern template struct LinearOperator<float>;
+extern template struct LinearOperator<double>;
+extern template LsqrResult<float> lsqr<float>(const LinearOperator<float>&,
+                                              const float*,
+                                              const LsqrOptions&);
+extern template LsqrResult<double> lsqr<double>(const LinearOperator<double>&,
+                                                const double*,
+                                                const LsqrOptions&);
+
+}  // namespace rsketch

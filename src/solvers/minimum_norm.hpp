@@ -1,0 +1,32 @@
+// Underdetermined least squares (paper §V-C footnote 2: "underdetermined
+// problems can be handled with minor modifications"): given a WIDE sparse
+// A ∈ R^{m×n} (m < n) and a compatible b, find the minimum-norm solution
+//   min ‖x‖₂  subject to  Ax = b.
+//
+// LSRN-style sketch-and-precondition: sketch the tall transpose,
+// Â = S·Aᵀ (d = γm), factor Â = QR, and run LSQR on the row-preconditioned
+// operator M = R⁻ᵀA with rhs R⁻ᵀb. M has near-orthonormal rows, and LSQR on
+// a compatible underdetermined system converges to its minimum-norm
+// solution — which equals the minimum-norm solution of the original system.
+#pragma once
+
+#include <vector>
+
+#include "solvers/sap.hpp"
+#include "sparse/csc.hpp"
+
+namespace rsketch {
+
+/// Solve min ‖x‖ s.t. Ax = b for wide A (m < n). Reuses SapOptions: gamma
+/// scales the sketch of Aᵀ (d = ⌈γm⌉); factor must be SapFactor::QR.
+template <typename T>
+SapResult<T> sap_solve_minimum_norm(const CscMatrix<T>& a,
+                                    const std::vector<T>& b,
+                                    const SapOptions& options);
+
+extern template SapResult<float> sap_solve_minimum_norm<float>(
+    const CscMatrix<float>&, const std::vector<float>&, const SapOptions&);
+extern template SapResult<double> sap_solve_minimum_norm<double>(
+    const CscMatrix<double>&, const std::vector<double>&, const SapOptions&);
+
+}  // namespace rsketch

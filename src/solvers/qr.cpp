@@ -1,0 +1,129 @@
+#include "solvers/qr.hpp"
+
+#include <cmath>
+
+#include "dense/blas1.hpp"
+#include "solvers/triangular.hpp"
+
+namespace rsketch {
+
+namespace {
+
+/// Compute the Householder reflector for column vector x (length len) so
+/// (I - tau v vᵀ) x = (beta, 0, ..., 0); v[0] = 1 implicit, v[1:] stored in
+/// x[1:], beta stored in x[0]. Returns tau (0 when x is already collapsed).
+template <typename T>
+T make_householder(index_t len, T* x) {
+  const double xnorm_tail = len > 1 ? nrm2(len - 1, x + 1) : 0.0;
+  if (xnorm_tail == 0.0) return T{0};
+  const double alpha = static_cast<double>(x[0]);
+  double beta = -std::copysign(std::hypot(alpha, xnorm_tail), alpha);
+  const T tau = static_cast<T>((beta - alpha) / beta);
+  const T scale = static_cast<T>(1.0 / (alpha - beta));
+  scal(len - 1, scale, x + 1);
+  x[0] = static_cast<T>(beta);
+  return tau;
+}
+
+/// w := (I - tau v vᵀ) w for reflector v packed in col (v[0]=1 implicit).
+template <typename T>
+void apply_reflector(index_t len, const T* v, T tau, T* w) {
+  if (tau == T{0}) return;
+  T s = w[0];
+  s += dot(len - 1, v + 1, w + 1);
+  s *= tau;
+  w[0] -= s;
+  axpy(len - 1, -s, v + 1, w + 1);
+}
+
+}  // namespace
+
+template <typename T>
+QrFactor<T> qr_factorize(DenseMatrix<T>&& a) {
+  const index_t d = a.rows();
+  const index_t n = a.cols();
+  require(d >= n, "qr_factorize: matrix must be tall (rows >= cols)");
+  QrFactor<T> f;
+  f.qr = std::move(a);
+  f.tau.assign(static_cast<std::size_t>(n), T{0});
+
+  for (index_t k = 0; k < n; ++k) {
+    const index_t len = d - k;
+    T* colk = f.qr.col(k) + k;
+    const T tau = make_householder(len, colk);
+    f.tau[static_cast<std::size_t>(k)] = tau;
+    if (tau == T{0}) continue;
+    // Trailing update: columns k+1..n-1 are independent.
+#pragma omp parallel for schedule(static) if (n - k > 32)
+    for (index_t j = k + 1; j < n; ++j) {
+      apply_reflector(len, colk, tau, f.qr.col(j) + k);
+    }
+  }
+  return f;
+}
+
+template <typename T>
+void apply_qt(const QrFactor<T>& f, T* y) {
+  const index_t d = f.qr.rows();
+  const index_t n = f.qr.cols();
+  for (index_t k = 0; k < n; ++k) {
+    apply_reflector(d - k, f.qr.col(k) + k, f.tau[static_cast<std::size_t>(k)],
+                    y + k);
+  }
+}
+
+template <typename T>
+void apply_q(const QrFactor<T>& f, T* y) {
+  const index_t d = f.qr.rows();
+  const index_t n = f.qr.cols();
+  for (index_t k = n - 1; k >= 0; --k) {
+    apply_reflector(d - k, f.qr.col(k) + k, f.tau[static_cast<std::size_t>(k)],
+                    y + k);
+  }
+}
+
+template <typename T>
+DenseMatrix<T> extract_r(const QrFactor<T>& f) {
+  const index_t n = f.qr.cols();
+  DenseMatrix<T> r(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i <= j; ++i) r(i, j) = f.qr(i, j);
+  }
+  return r;
+}
+
+template <typename T>
+std::vector<T> qr_least_squares(const QrFactor<T>& f, const T* b) {
+  const index_t d = f.qr.rows();
+  const index_t n = f.qr.cols();
+  std::vector<T> y(b, b + d);
+  apply_qt(f, y.data());
+  // Back substitution against R stored in the packed factor's upper triangle.
+  for (index_t j = n - 1; j >= 0; --j) {
+    require(f.qr(j, j) != T{0}, "qr_least_squares: rank-deficient R");
+    y[static_cast<std::size_t>(j)] /= f.qr(j, j);
+    const T xj = y[static_cast<std::size_t>(j)];
+    for (index_t i = 0; i < j; ++i) {
+      y[static_cast<std::size_t>(i)] -= f.qr(i, j) * xj;
+    }
+  }
+  y.resize(static_cast<std::size_t>(n));
+  return y;
+}
+
+template struct QrFactor<float>;
+template struct QrFactor<double>;
+template QrFactor<float> qr_factorize<float>(DenseMatrix<float>&&);
+template QrFactor<double> qr_factorize<double>(DenseMatrix<double>&&);
+template void apply_qt<float>(const QrFactor<float>&, float*);
+template void apply_qt<double>(const QrFactor<double>&, double*);
+template void apply_q<float>(const QrFactor<float>&, float*);
+template void apply_q<double>(const QrFactor<double>&, double*);
+template DenseMatrix<float> extract_r<float>(const QrFactor<float>&);
+template DenseMatrix<double> extract_r<double>(const QrFactor<double>&);
+template std::vector<float> qr_least_squares<float>(const QrFactor<float>&,
+                                                    const float*);
+template std::vector<double> qr_least_squares<double>(const QrFactor<double>&,
+                                                      const double*);
+
+}  // namespace rsketch

@@ -1,0 +1,57 @@
+// Dense Householder QR of the tall sketch Â = S·A (d×n, d ≥ n) — the
+// factorization step of SAP-QR (§V-C1).
+#pragma once
+
+#include <vector>
+
+#include "dense/dense_matrix.hpp"
+
+namespace rsketch {
+
+/// Compact Householder QR: R in the upper triangle, reflectors below the
+/// diagonal, scalar factors in tau.
+template <typename T>
+struct QrFactor {
+  DenseMatrix<T> qr;   ///< d×n packed factor
+  std::vector<T> tau;  ///< n Householder scalars
+};
+
+/// Factor A (d×n, d ≥ n) in place; A is consumed. OpenMP-parallel over the
+/// trailing-panel update.
+template <typename T>
+QrFactor<T> qr_factorize(DenseMatrix<T>&& a);
+
+/// y (length d) := Qᵀ·y, applying the n reflectors in order.
+template <typename T>
+void apply_qt(const QrFactor<T>& f, T* y);
+
+/// y (length d) := Q·y (reflectors in reverse order).
+template <typename T>
+void apply_q(const QrFactor<T>& f, T* y);
+
+/// Copy out the n×n upper-triangular R.
+template <typename T>
+DenseMatrix<T> extract_r(const QrFactor<T>& f);
+
+/// Dense least-squares solve min ‖Ax-b‖ via this QR (for tests and as the
+/// final small solve inside other pipelines). b has length d; returns x of
+/// length n.
+template <typename T>
+std::vector<T> qr_least_squares(const QrFactor<T>& f, const T* b);
+
+extern template struct QrFactor<float>;
+extern template struct QrFactor<double>;
+extern template QrFactor<float> qr_factorize<float>(DenseMatrix<float>&&);
+extern template QrFactor<double> qr_factorize<double>(DenseMatrix<double>&&);
+extern template void apply_qt<float>(const QrFactor<float>&, float*);
+extern template void apply_qt<double>(const QrFactor<double>&, double*);
+extern template void apply_q<float>(const QrFactor<float>&, float*);
+extern template void apply_q<double>(const QrFactor<double>&, double*);
+extern template DenseMatrix<float> extract_r<float>(const QrFactor<float>&);
+extern template DenseMatrix<double> extract_r<double>(const QrFactor<double>&);
+extern template std::vector<float> qr_least_squares<float>(
+    const QrFactor<float>&, const float*);
+extern template std::vector<double> qr_least_squares<double>(
+    const QrFactor<double>&, const double*);
+
+}  // namespace rsketch

@@ -1,0 +1,164 @@
+#include "solvers/sap.hpp"
+
+#include <cmath>
+
+#include "dense/blas1.hpp"
+#include "dense/dense_matrix.hpp"
+#include "sketch/sketch.hpp"
+#include "solvers/lsqr.hpp"
+#include "solvers/qr.hpp"
+#include "solvers/svd.hpp"
+#include "solvers/triangular.hpp"
+#include "sparse/ops.hpp"
+#include "support/memory_tracker.hpp"
+#include "support/timer.hpp"
+
+namespace rsketch {
+
+namespace {
+
+/// y := M·x for a dense n×k matrix (column-major), x length k.
+template <typename T>
+void dense_matvec(const DenseMatrix<T>& m_mat, const T* x, T* y) {
+  for (index_t i = 0; i < m_mat.rows(); ++i) y[i] = T{0};
+  for (index_t j = 0; j < m_mat.cols(); ++j) {
+    axpy(m_mat.rows(), x[j], m_mat.col(j), y);
+  }
+}
+
+/// y := Mᵀ·x, x length n.
+template <typename T>
+void dense_matvec_t(const DenseMatrix<T>& m_mat, const T* x, T* y) {
+  for (index_t j = 0; j < m_mat.cols(); ++j) {
+    y[j] = dot(m_mat.rows(), m_mat.col(j), x);
+  }
+}
+
+}  // namespace
+
+template <typename T>
+SapResult<T> sap_solve(const CscMatrix<T>& a, const std::vector<T>& b,
+                       const SapOptions& options) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  require(m >= n, "sap_solve: A must be tall (m >= n); transpose first");
+  require(static_cast<index_t>(b.size()) == m,
+          "sap_solve: rhs length mismatch");
+  require(options.gamma > 1.0, "sap_solve: gamma must exceed 1");
+
+  SapResult<T> out;
+  MemoryTracker mem;
+  Timer total;
+
+  // --- 1. Sketch: Â = S·A, d = ⌈γn⌉, normalized to an approximate isometry.
+  SketchConfig cfg;
+  cfg.d = static_cast<index_t>(std::ceil(options.gamma * static_cast<double>(n)));
+  cfg.seed = options.seed;
+  cfg.dist = options.dist;
+  cfg.backend = options.backend;
+  cfg.kernel = options.kernel;
+  cfg.block_d = options.block_d;
+  cfg.block_n = options.block_n;
+  cfg.parallel = options.parallel;
+  cfg.normalize = true;
+
+  Timer phase;
+  DenseMatrix<T> a_hat(cfg.d, n);
+  sketch_into(cfg, a, a_hat);
+  out.sketch_seconds = phase.seconds();
+  mem.add("sketch A_hat", a_hat.memory_bytes());
+
+  // --- 2. Factor Â into a right preconditioner N.
+  phase.reset();
+  DenseMatrix<T> r_mat;      // QR path: n×n upper triangular
+  DenseMatrix<T> n_mat;      // SVD path: n×rank, N = V·Σ⁺
+  index_t rank = n;
+  if (options.factor == SapFactor::QR) {
+    QrFactor<T> f = qr_factorize(std::move(a_hat));
+    r_mat = extract_r(f);
+    mem.add("R factor", r_mat.memory_bytes());
+  } else {
+    SvdResult<T> svd = jacobi_svd(std::move(a_hat));
+    const double smax = static_cast<double>(svd.sigma.front());
+    rank = 0;
+    for (T s : svd.sigma) {
+      if (static_cast<double>(s) > smax * options.sigma_drop) ++rank;
+    }
+    require(rank > 0, "sap_solve: sketch is numerically zero");
+    n_mat.reset(n, rank);
+    for (index_t j = 0; j < rank; ++j) {
+      const T inv = static_cast<T>(
+          1.0 / static_cast<double>(svd.sigma[static_cast<std::size_t>(j)]));
+      const T* vj = svd.v.col(j);
+      T* nj = n_mat.col(j);
+      for (index_t i = 0; i < n; ++i) nj[i] = vj[i] * inv;
+    }
+    mem.add("V*Sigma^+ factor", n_mat.memory_bytes());
+  }
+  out.factor_seconds = phase.seconds();
+  out.rank = rank;
+
+  // --- 3. LSQR on the preconditioned operator A·N.
+  phase.reset();
+  LinearOperator<T> op;
+  op.rows = m;
+  op.cols = rank;
+  std::vector<T> scratch_n(static_cast<std::size_t>(n));
+  mem.add("LSQR workspace",
+          static_cast<std::size_t>(2 * m + 4 * n) * sizeof(T));
+  if (options.factor == SapFactor::QR) {
+    op.apply = [&a, &r_mat, &scratch_n, n](const T* y, T* z) {
+      for (index_t i = 0; i < n; ++i) scratch_n[static_cast<std::size_t>(i)] = y[i];
+      solve_upper(r_mat, scratch_n.data());
+      spmv(a, scratch_n.data(), z);
+    };
+    op.apply_adjoint = [&a, &r_mat, &scratch_n, n](const T* z, T* y) {
+      spmv_transpose(a, z, scratch_n.data());
+      solve_upper_transpose(r_mat, scratch_n.data());
+      for (index_t i = 0; i < n; ++i) y[i] = scratch_n[static_cast<std::size_t>(i)];
+    };
+  } else {
+    op.apply = [&a, &n_mat, &scratch_n](const T* y, T* z) {
+      dense_matvec(n_mat, y, scratch_n.data());
+      spmv(a, scratch_n.data(), z);
+    };
+    op.apply_adjoint = [&a, &n_mat, &scratch_n](const T* z, T* y) {
+      spmv_transpose(a, z, scratch_n.data());
+      dense_matvec_t(n_mat, scratch_n.data(), y);
+    };
+  }
+
+  LsqrOptions lo;
+  lo.tol = options.lsqr_tol;
+  lo.max_iter = options.lsqr_max_iter;
+  LsqrResult<T> res = lsqr(op, b.data(), lo);
+  out.iterations = res.iterations;
+  out.converged = res.converged;
+  out.lsqr_seconds = phase.seconds();
+
+  // --- 4. Recover x = N·y.
+  out.x.assign(static_cast<std::size_t>(n), T{0});
+  if (options.factor == SapFactor::QR) {
+    for (index_t i = 0; i < n; ++i) {
+      out.x[static_cast<std::size_t>(i)] = res.x[static_cast<std::size_t>(i)];
+    }
+    solve_upper(r_mat, out.x.data());
+  } else {
+    dense_matvec(n_mat, res.x.data(), out.x.data());
+  }
+
+  out.total_seconds = total.seconds();
+  out.workspace_bytes = mem.peak_bytes();
+  return out;
+}
+
+template struct SapResult<float>;
+template struct SapResult<double>;
+template SapResult<float> sap_solve<float>(const CscMatrix<float>&,
+                                           const std::vector<float>&,
+                                           const SapOptions&);
+template SapResult<double> sap_solve<double>(const CscMatrix<double>&,
+                                             const std::vector<double>&,
+                                             const SapOptions&);
+
+}  // namespace rsketch

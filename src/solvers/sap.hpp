@@ -1,0 +1,64 @@
+// Sketch-and-precondition (SAP) least-squares solver — the paper's §V-C
+// pipeline: Â = S·A via the fast sketching kernels, a dense QR or SVD of Â
+// to build a right preconditioner, then LSQR on the preconditioned system.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/config.hpp"
+#include "sparse/csc.hpp"
+
+namespace rsketch {
+
+/// Which decomposition of Â supplies the preconditioner.
+enum class SapFactor {
+  QR,  ///< N = R⁻¹ — cheap; intended for numerically full-rank problems
+  SVD  ///< N = V·Σ⁺ with σ < σ_max·sigma_drop discarded — for near-singular A
+};
+
+struct SapOptions {
+  SapFactor factor = SapFactor::QR;
+  double gamma = 2.0;            ///< sketch size d = ⌈γ·n⌉ (paper uses γ=2)
+  std::uint64_t seed = 0xABCDEF;
+  double lsqr_tol = 1e-14;
+  index_t lsqr_max_iter = 0;     ///< 0 → LSQR default
+  double sigma_drop = 1e-12;     ///< SVD truncation threshold (relative)
+  /// Sketching engine settings (kernel/blocks/distribution/parallelism).
+  Dist dist = Dist::Uniform;
+  RngBackend backend = RngBackend::XoshiroBatch;
+  KernelVariant kernel = KernelVariant::Kji;
+  index_t block_d = 3000;
+  index_t block_n = 500;
+  ParallelOver parallel = ParallelOver::DBlocks;
+};
+
+template <typename T>
+struct SapResult {
+  std::vector<T> x;
+  index_t iterations = 0;
+  bool converged = false;
+  index_t rank = 0;              ///< retained rank (SVD path; n for QR)
+  double sketch_seconds = 0.0;   ///< time to form Â = S·A
+  double factor_seconds = 0.0;   ///< QR / SVD time
+  double lsqr_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::size_t workspace_bytes = 0;  ///< Â + factor + iteration vectors
+};
+
+/// Solve min ‖Ax − b‖₂ by sketch-and-precondition. A must be tall (m ≥ n);
+/// transpose underdetermined inputs first (as the paper does).
+template <typename T>
+SapResult<T> sap_solve(const CscMatrix<T>& a, const std::vector<T>& b,
+                       const SapOptions& options);
+
+extern template struct SapResult<float>;
+extern template struct SapResult<double>;
+extern template SapResult<float> sap_solve<float>(const CscMatrix<float>&,
+                                                  const std::vector<float>&,
+                                                  const SapOptions&);
+extern template SapResult<double> sap_solve<double>(const CscMatrix<double>&,
+                                                    const std::vector<double>&,
+                                                    const SapOptions&);
+
+}  // namespace rsketch

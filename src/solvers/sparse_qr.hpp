@@ -1,0 +1,50 @@
+// Sparse direct least-squares solver via George–Heath row-Givens QR — the
+// from-scratch stand-in for SuiteSparseQR in the paper's §V-C comparison
+// (see DESIGN.md §2 for the substitution rationale).
+//
+// Rows of A are rotated one at a time into a sparse upper-triangular R; the
+// right-hand side is carried through the same rotations (Q is never formed).
+// Fill-in accumulates in R exactly as in a real sparse QR, which is what
+// drives the direct method's memory blowup in Table XI.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace rsketch {
+
+template <typename T>
+struct SparseQrResult {
+  std::vector<T> x;            ///< least-squares solution
+  index_t rank = 0;            ///< numerical rank of R used in the solve
+  index_t r_nnz = 0;           ///< nonzeros stored in R (fill-in included)
+  std::size_t r_bytes = 0;     ///< memory of R + carried rhs
+  index_t q_rotations = 0;     ///< Givens rotations applied while factoring
+  /// Memory a SuiteSparseQR-style factorization retains for Q (one (c, s,
+  /// row-pair) record per rotation). Our solver itself runs Q-less by
+  /// carrying the rhs, but the paper's Table XI measures the resulting
+  /// factors of SuiteSparse's backslash, which include Q.
+  std::size_t q_bytes = 0;
+  double factor_seconds = 0.0;
+  double solve_seconds = 0.0;
+
+  std::size_t factor_bytes() const { return r_bytes + q_bytes; }
+};
+
+/// Solve min ‖Ax - b‖₂ directly. When `reorder_columns` is set, columns are
+/// pre-permuted by ascending nonzero count (a cheap fill-reducing heuristic
+/// standing in for COLAMD) and the solution is returned in original order.
+/// Structurally rank-deficient columns receive x_j = 0 (basic solution).
+template <typename T>
+SparseQrResult<T> sparse_qr_least_squares(const CscMatrix<T>& a, const T* b,
+                                          bool reorder_columns = true);
+
+extern template struct SparseQrResult<float>;
+extern template struct SparseQrResult<double>;
+extern template SparseQrResult<float> sparse_qr_least_squares<float>(
+    const CscMatrix<float>&, const float*, bool);
+extern template SparseQrResult<double> sparse_qr_least_squares<double>(
+    const CscMatrix<double>&, const double*, bool);
+
+}  // namespace rsketch

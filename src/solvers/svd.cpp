@@ -1,0 +1,113 @@
+#include "solvers/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "dense/blas1.hpp"
+
+namespace rsketch {
+
+template <typename T>
+SvdResult<T> jacobi_svd(DenseMatrix<T>&& a, bool want_u, double tol,
+                        int max_sweeps) {
+  const index_t d = a.rows();
+  const index_t n = a.cols();
+  require(d >= n, "jacobi_svd: matrix must be tall (rows >= cols)");
+
+  SvdResult<T> out;
+  out.v.reset(n, n);
+  for (index_t j = 0; j < n; ++j) out.v(j, j) = T{1};
+
+  bool rotated = true;
+  int sweep = 0;
+  for (; sweep < max_sweeps && rotated; ++sweep) {
+    rotated = false;
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        T* ap = a.col(p);
+        T* aq = a.col(q);
+        const double alpha = static_cast<double>(dot(d, ap, ap));
+        const double beta = static_cast<double>(dot(d, aq, aq));
+        const double gamma = static_cast<double>(dot(d, ap, aq));
+        if (std::fabs(gamma) <= tol * std::sqrt(alpha * beta) ||
+            gamma == 0.0) {
+          continue;
+        }
+        rotated = true;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t =
+            std::copysign(1.0, zeta) /
+            (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        const T tc = static_cast<T>(c);
+        const T ts = static_cast<T>(s);
+        // Rotate the column pair in A and accumulate the same rotation in V.
+#pragma omp simd
+        for (index_t i = 0; i < d; ++i) {
+          const T x = ap[i];
+          const T y = aq[i];
+          ap[i] = tc * x - ts * y;
+          aq[i] = ts * x + tc * y;
+        }
+        T* vp = out.v.col(p);
+        T* vq = out.v.col(q);
+#pragma omp simd
+        for (index_t i = 0; i < n; ++i) {
+          const T x = vp[i];
+          const T y = vq[i];
+          vp[i] = tc * x - ts * y;
+          vq[i] = ts * x + tc * y;
+        }
+      }
+    }
+  }
+  out.sweeps = sweep;
+
+  // Column norms are the singular values; sort descending.
+  std::vector<double> norms(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    norms[static_cast<std::size_t>(j)] = nrm2(d, a.col(j));
+  }
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return norms[static_cast<std::size_t>(x)] >
+           norms[static_cast<std::size_t>(y)];
+  });
+
+  out.sigma.resize(static_cast<std::size_t>(n));
+  DenseMatrix<T> v_sorted(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    const index_t src = order[static_cast<std::size_t>(j)];
+    out.sigma[static_cast<std::size_t>(j)] =
+        static_cast<T>(norms[static_cast<std::size_t>(src)]);
+    const T* vs = out.v.col(src);
+    T* vd = v_sorted.col(j);
+    for (index_t i = 0; i < n; ++i) vd[i] = vs[i];
+  }
+  out.v = std::move(v_sorted);
+
+  if (want_u) {
+    out.u.reset(d, n);
+    for (index_t j = 0; j < n; ++j) {
+      const index_t src = order[static_cast<std::size_t>(j)];
+      const double nj = norms[static_cast<std::size_t>(src)];
+      const T inv = nj > 0.0 ? static_cast<T>(1.0 / nj) : T{0};
+      const T* as = a.col(src);
+      T* ud = out.u.col(j);
+      for (index_t i = 0; i < d; ++i) ud[i] = as[i] * inv;
+    }
+  }
+  return out;
+}
+
+template struct SvdResult<float>;
+template struct SvdResult<double>;
+template SvdResult<float> jacobi_svd<float>(DenseMatrix<float>&&, bool, double,
+                                            int);
+template SvdResult<double> jacobi_svd<double>(DenseMatrix<double>&&, bool,
+                                              double, int);
+
+}  // namespace rsketch

@@ -1,0 +1,34 @@
+// One-sided Jacobi SVD of the tall sketch Â — the factorization behind
+// SAP-SVD (§V-C1), intended for inputs whose singular values may be near
+// zero. Jacobi is chosen for its simplicity and its excellent relative
+// accuracy on small singular values.
+#pragma once
+
+#include <vector>
+
+#include "dense/dense_matrix.hpp"
+
+namespace rsketch {
+
+template <typename T>
+struct SvdResult {
+  std::vector<T> sigma;  ///< singular values, descending
+  DenseMatrix<T> v;      ///< n×n right singular vectors
+  DenseMatrix<T> u;      ///< d×n left singular vectors (empty if !want_u)
+  int sweeps = 0;        ///< Jacobi sweeps until convergence
+};
+
+/// One-sided Jacobi SVD of a (d×n, d ≥ n, consumed). Columns are rotated
+/// until all pairwise dot products fall below tol·‖aᵢ‖‖aⱼ‖.
+template <typename T>
+SvdResult<T> jacobi_svd(DenseMatrix<T>&& a, bool want_u = false,
+                        double tol = 1e-10, int max_sweeps = 60);
+
+extern template struct SvdResult<float>;
+extern template struct SvdResult<double>;
+extern template SvdResult<float> jacobi_svd<float>(DenseMatrix<float>&&, bool,
+                                                   double, int);
+extern template SvdResult<double> jacobi_svd<double>(DenseMatrix<double>&&,
+                                                     bool, double, int);
+
+}  // namespace rsketch

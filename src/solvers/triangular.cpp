@@ -1,0 +1,37 @@
+#include "solvers/triangular.hpp"
+
+namespace rsketch {
+
+template <typename T>
+void solve_upper(const DenseMatrix<T>& r, T* x) {
+  const index_t n = r.cols();
+  require(r.rows() >= n, "solve_upper: R must have at least n rows");
+  for (index_t j = n - 1; j >= 0; --j) {
+    require(r(j, j) != T{0}, "solve_upper: singular R");
+    x[j] /= r(j, j);
+    const T xj = x[j];
+    const T* rj = r.col(j);
+    for (index_t i = 0; i < j; ++i) x[i] -= rj[i] * xj;
+  }
+}
+
+template <typename T>
+void solve_upper_transpose(const DenseMatrix<T>& r, T* x) {
+  const index_t n = r.cols();
+  require(r.rows() >= n, "solve_upper_transpose: R must have at least n rows");
+  for (index_t j = 0; j < n; ++j) {
+    const T* rj = r.col(j);
+    T s = x[j];
+    for (index_t i = 0; i < j; ++i) s -= rj[i] * x[i];
+    require(rj[j] != T{0}, "solve_upper_transpose: singular R");
+    x[j] = s / rj[j];
+  }
+}
+
+template void solve_upper<float>(const DenseMatrix<float>&, float*);
+template void solve_upper<double>(const DenseMatrix<double>&, double*);
+template void solve_upper_transpose<float>(const DenseMatrix<float>&, float*);
+template void solve_upper_transpose<double>(const DenseMatrix<double>&,
+                                            double*);
+
+}  // namespace rsketch

@@ -1,0 +1,25 @@
+// Triangular solves against the n×n upper factor R produced by QR — the
+// per-iteration preconditioner application inside SAP-QR's LSQR loop.
+#pragma once
+
+#include "dense/dense_matrix.hpp"
+
+namespace rsketch {
+
+/// x := R⁻¹ x for upper-triangular R (back substitution).
+/// Throws invalid_argument_error if a diagonal entry is exactly zero.
+template <typename T>
+void solve_upper(const DenseMatrix<T>& r, T* x);
+
+/// x := R⁻ᵀ x for upper-triangular R (forward substitution on Rᵀ).
+template <typename T>
+void solve_upper_transpose(const DenseMatrix<T>& r, T* x);
+
+extern template void solve_upper<float>(const DenseMatrix<float>&, float*);
+extern template void solve_upper<double>(const DenseMatrix<double>&, double*);
+extern template void solve_upper_transpose<float>(const DenseMatrix<float>&,
+                                                  float*);
+extern template void solve_upper_transpose<double>(const DenseMatrix<double>&,
+                                                   double*);
+
+}  // namespace rsketch

@@ -1,0 +1,54 @@
+// Blocked CSR: the auxiliary structure required by Algorithm 4 (§II-B2,
+// §III-B of the paper). The matrix is partitioned into vertical blocks of
+// b_n columns; within each block the entries are stored in CSR so the kernel
+// can walk nonempty rows and reuse one regenerated column of S across the
+// whole row.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+
+namespace rsketch {
+
+/// Vertical-block partition of an m×n CSC matrix with per-block CSR storage.
+template <typename T>
+class BlockedCsr {
+ public:
+  /// One vertical slab A[:, col0 : col0 + csr.cols()).
+  struct Block {
+    index_t col0 = 0;       ///< first global column covered by this block
+    CsrMatrix<T> csr;       ///< m × width slab in CSR (local column indices)
+  };
+
+  BlockedCsr() = default;
+
+  /// Sequential construction; cost O(⌈n/b_n⌉·m + nnz) as analyzed in §III-B.
+  static BlockedCsr from_csc(const CscMatrix<T>& a, index_t block_cols);
+
+  /// Parallel construction: blocks are built independently, one per task.
+  static BlockedCsr from_csc_parallel(const CscMatrix<T>& a,
+                                      index_t block_cols);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t block_cols() const { return block_cols_; }
+  index_t num_blocks() const { return static_cast<index_t>(blocks_.size()); }
+  const Block& block(index_t b) const {
+    return blocks_[static_cast<std::size_t>(b)];
+  }
+
+  index_t nnz() const;
+  std::size_t memory_bytes() const;
+
+ private:
+  static Block build_block(const CscMatrix<T>& a, index_t col0, index_t width);
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t block_cols_ = 0;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace rsketch

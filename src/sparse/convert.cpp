@@ -1,0 +1,163 @@
+#include "sparse/convert.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rsketch {
+
+namespace {
+
+/// Shared bucket-sort core: scatter (major, minor, value) triplets into a
+/// compressed structure with `nmajor` buckets, summing duplicates. Returns
+/// the (ptr, idx, val) arrays with minor indices sorted within each bucket.
+template <typename T>
+void compress(index_t nmajor, const std::vector<index_t>& major,
+              const std::vector<index_t>& minor, const std::vector<T>& val,
+              std::vector<index_t>& ptr, std::vector<index_t>& idx,
+              std::vector<T>& out_val) {
+  const std::size_t nnz = val.size();
+  ptr.assign(static_cast<std::size_t>(nmajor) + 1, 0);
+  for (index_t mj : major) ++ptr[static_cast<std::size_t>(mj) + 1];
+  std::partial_sum(ptr.begin(), ptr.end(), ptr.begin());
+
+  idx.resize(nnz);
+  out_val.resize(nnz);
+  std::vector<index_t> cursor(ptr.begin(), ptr.end() - 1);
+  for (std::size_t p = 0; p < nnz; ++p) {
+    const index_t dst = cursor[static_cast<std::size_t>(major[p])]++;
+    idx[static_cast<std::size_t>(dst)] = minor[p];
+    out_val[static_cast<std::size_t>(dst)] = val[p];
+  }
+
+  // Sort minors within each bucket and sum duplicates in place.
+  index_t write = 0;
+  std::vector<std::pair<index_t, T>> bucket;
+  std::vector<index_t> new_ptr(ptr.size());
+  new_ptr[0] = 0;
+  for (index_t b = 0; b < nmajor; ++b) {
+    const index_t lo = ptr[static_cast<std::size_t>(b)];
+    const index_t hi = ptr[static_cast<std::size_t>(b) + 1];
+    bucket.clear();
+    for (index_t p = lo; p < hi; ++p) {
+      bucket.emplace_back(idx[static_cast<std::size_t>(p)],
+                          out_val[static_cast<std::size_t>(p)]);
+    }
+    std::sort(bucket.begin(), bucket.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (std::size_t q = 0; q < bucket.size(); ++q) {
+      if (write > new_ptr[static_cast<std::size_t>(b)] &&
+          idx[static_cast<std::size_t>(write - 1)] == bucket[q].first) {
+        out_val[static_cast<std::size_t>(write - 1)] += bucket[q].second;
+      } else {
+        idx[static_cast<std::size_t>(write)] = bucket[q].first;
+        out_val[static_cast<std::size_t>(write)] = bucket[q].second;
+        ++write;
+      }
+    }
+    new_ptr[static_cast<std::size_t>(b) + 1] = write;
+  }
+  ptr = std::move(new_ptr);
+  idx.resize(static_cast<std::size_t>(write));
+  out_val.resize(static_cast<std::size_t>(write));
+}
+
+}  // namespace
+
+template <typename T>
+CscMatrix<T> coo_to_csc(const CooMatrix<T>& coo) {
+  std::vector<index_t> ptr, idx;
+  std::vector<T> val;
+  compress(coo.cols(), coo.col_indices(), coo.row_indices(), coo.values(),
+           ptr, idx, val);
+  return CscMatrix<T>(coo.rows(), coo.cols(), std::move(ptr), std::move(idx),
+                      std::move(val));
+}
+
+template <typename T>
+CsrMatrix<T> coo_to_csr(const CooMatrix<T>& coo) {
+  std::vector<index_t> ptr, idx;
+  std::vector<T> val;
+  compress(coo.rows(), coo.row_indices(), coo.col_indices(), coo.values(),
+           ptr, idx, val);
+  return CsrMatrix<T>(coo.rows(), coo.cols(), std::move(ptr), std::move(idx),
+                      std::move(val));
+}
+
+template <typename T>
+CsrMatrix<T> csc_to_csr(const CscMatrix<T>& a) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t nnz = a.nnz();
+  std::vector<index_t> ptr(static_cast<std::size_t>(m) + 1, 0);
+  for (index_t p = 0; p < nnz; ++p) {
+    ++ptr[static_cast<std::size_t>(a.row_idx()[static_cast<std::size_t>(p)]) +
+          1];
+  }
+  std::partial_sum(ptr.begin(), ptr.end(), ptr.begin());
+
+  std::vector<index_t> idx(static_cast<std::size_t>(nnz));
+  std::vector<T> val(static_cast<std::size_t>(nnz));
+  std::vector<index_t> cursor(ptr.begin(), ptr.end() - 1);
+  // Walking columns in order makes the column indices within each output row
+  // automatically ascending — no per-row sort needed.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = a.col_ptr()[static_cast<std::size_t>(j)];
+         p < a.col_ptr()[static_cast<std::size_t>(j) + 1]; ++p) {
+      const index_t i = a.row_idx()[static_cast<std::size_t>(p)];
+      const index_t dst = cursor[static_cast<std::size_t>(i)]++;
+      idx[static_cast<std::size_t>(dst)] = j;
+      val[static_cast<std::size_t>(dst)] =
+          a.values()[static_cast<std::size_t>(p)];
+    }
+  }
+  return CsrMatrix<T>(m, n, std::move(ptr), std::move(idx), std::move(val));
+}
+
+template <typename T>
+CscMatrix<T> csr_to_csc(const CsrMatrix<T>& a) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t nnz = a.nnz();
+  std::vector<index_t> ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t p = 0; p < nnz; ++p) {
+    ++ptr[static_cast<std::size_t>(a.col_idx()[static_cast<std::size_t>(p)]) +
+          1];
+  }
+  std::partial_sum(ptr.begin(), ptr.end(), ptr.begin());
+
+  std::vector<index_t> idx(static_cast<std::size_t>(nnz));
+  std::vector<T> val(static_cast<std::size_t>(nnz));
+  std::vector<index_t> cursor(ptr.begin(), ptr.end() - 1);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t p = a.row_ptr()[static_cast<std::size_t>(i)];
+         p < a.row_ptr()[static_cast<std::size_t>(i) + 1]; ++p) {
+      const index_t j = a.col_idx()[static_cast<std::size_t>(p)];
+      const index_t dst = cursor[static_cast<std::size_t>(j)]++;
+      idx[static_cast<std::size_t>(dst)] = i;
+      val[static_cast<std::size_t>(dst)] =
+          a.values()[static_cast<std::size_t>(p)];
+    }
+  }
+  return CscMatrix<T>(m, n, std::move(ptr), std::move(idx), std::move(val));
+}
+
+template <typename T>
+CscMatrix<T> transpose(const CscMatrix<T>& a) {
+  // CSC(A) arrays reinterpreted as CSR(Aᵀ) (rows of Aᵀ = columns of A),
+  // then converted back to CSC.
+  CsrMatrix<T> at(a.cols(), a.rows(), a.col_ptr(), a.row_idx(), a.values());
+  return csr_to_csc(at);
+}
+
+#define RSKETCH_INSTANTIATE(T)                              \
+  template CscMatrix<T> coo_to_csc<T>(const CooMatrix<T>&); \
+  template CsrMatrix<T> coo_to_csr<T>(const CooMatrix<T>&); \
+  template CsrMatrix<T> csc_to_csr<T>(const CscMatrix<T>&); \
+  template CscMatrix<T> csr_to_csc<T>(const CsrMatrix<T>&); \
+  template CscMatrix<T> transpose<T>(const CscMatrix<T>&);
+
+RSKETCH_INSTANTIATE(float)
+RSKETCH_INSTANTIATE(double)
+#undef RSKETCH_INSTANTIATE
+
+}  // namespace rsketch

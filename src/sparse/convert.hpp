@@ -1,0 +1,31 @@
+// Format conversions between COO, CSC and CSR, including transposition.
+#pragma once
+
+#include "sparse/coo.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+
+namespace rsketch {
+
+/// COO → CSC with duplicate coordinates summed (Matrix-Market semantics).
+template <typename T>
+CscMatrix<T> coo_to_csc(const CooMatrix<T>& coo);
+
+/// COO → CSR with duplicates summed.
+template <typename T>
+CsrMatrix<T> coo_to_csr(const CooMatrix<T>& coo);
+
+/// CSC → CSR of the SAME matrix (bucket-sort by row; O(m + n + nnz)).
+template <typename T>
+CsrMatrix<T> csc_to_csr(const CscMatrix<T>& a);
+
+/// CSR → CSC of the same matrix.
+template <typename T>
+CscMatrix<T> csr_to_csc(const CsrMatrix<T>& a);
+
+/// Transpose: CSC of Aᵀ. (Structurally: reinterpret CSC(A) arrays as CSR(Aᵀ)
+/// and convert back; exposed as one call because the solvers need it.)
+template <typename T>
+CscMatrix<T> transpose(const CscMatrix<T>& a);
+
+}  // namespace rsketch

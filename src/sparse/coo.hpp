@@ -1,0 +1,52 @@
+// Coordinate (triplet) sparse matrix — the assembly and I/O format.
+#pragma once
+
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace rsketch {
+
+/// COO sparse matrix builder. Entries may be pushed in any order; duplicates
+/// are summed when converting to CSC/CSR (Matrix-Market semantics).
+template <typename T>
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+
+  CooMatrix(index_t m, index_t n) : rows_(m), cols_(n) {
+    require(m >= 0 && n >= 0, "CooMatrix: negative dimension");
+  }
+
+  void reserve(index_t nnz) {
+    row_.reserve(static_cast<std::size_t>(nnz));
+    col_.reserve(static_cast<std::size_t>(nnz));
+    val_.reserve(static_cast<std::size_t>(nnz));
+  }
+
+  /// Append one entry. Throws if the coordinate is out of range.
+  void push(index_t i, index_t j, T v) {
+    require(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+            "CooMatrix::push: index out of range");
+    row_.push_back(i);
+    col_.push_back(j);
+    val_.push_back(v);
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(val_.size()); }
+
+  const std::vector<index_t>& row_indices() const { return row_; }
+  const std::vector<index_t>& col_indices() const { return col_; }
+  const std::vector<T>& values() const { return val_; }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> row_;
+  std::vector<index_t> col_;
+  std::vector<T> val_;
+};
+
+}  // namespace rsketch

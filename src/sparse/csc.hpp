@@ -1,0 +1,107 @@
+// Compressed Sparse Column matrix — the paper's default input format for A.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace rsketch {
+
+/// CSC sparse matrix: column j's nonzeros live at positions
+/// [col_ptr[j], col_ptr[j+1]) of row_idx / values, with row indices sorted
+/// ascending within each column (enforced by validate()).
+template <typename T>
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  /// Empty (all-zero) m×n matrix.
+  CscMatrix(index_t m, index_t n)
+      : rows_(m), cols_(n), col_ptr_(static_cast<std::size_t>(n) + 1, 0) {
+    require(m >= 0 && n >= 0, "CscMatrix: negative dimension");
+  }
+
+  /// Adopt raw CSC arrays. Throws invalid_argument_error on structural
+  /// inconsistency (see validate()).
+  CscMatrix(index_t m, index_t n, std::vector<index_t> col_ptr,
+            std::vector<index_t> row_idx, std::vector<T> values)
+      : rows_(m),
+        cols_(n),
+        col_ptr_(std::move(col_ptr)),
+        row_idx_(std::move(row_idx)),
+        values_(std::move(values)) {
+    validate();
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(values_.size()); }
+  double density() const {
+    return rows_ == 0 || cols_ == 0
+               ? 0.0
+               : static_cast<double>(nnz()) /
+                     (static_cast<double>(rows_) * static_cast<double>(cols_));
+  }
+
+  const std::vector<index_t>& col_ptr() const { return col_ptr_; }
+  const std::vector<index_t>& row_idx() const { return row_idx_; }
+  const std::vector<T>& values() const { return values_; }
+  std::vector<T>& values() { return values_; }
+
+  /// Number of nonzeros in column j.
+  index_t col_nnz(index_t j) const { return col_ptr_[j + 1] - col_ptr_[j]; }
+
+  /// O(col_nnz) random access; intended for tests and small problems.
+  T at(index_t i, index_t j) const {
+    require(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+            "CscMatrix::at: index out of range");
+    for (index_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) {
+      if (row_idx_[p] == i) return values_[p];
+    }
+    return T{0};
+  }
+
+  /// Multiply every stored value by `s` in place (used by the scaling trick).
+  void scale(T s) {
+    for (auto& v : values_) v *= s;
+  }
+
+  /// Bytes needed for this CSC representation (paper Table VIII "mem(A)").
+  std::size_t memory_bytes() const {
+    return col_ptr_.size() * sizeof(index_t) +
+           row_idx_.size() * sizeof(index_t) + values_.size() * sizeof(T);
+  }
+
+  /// Structural validation: monotone col_ptr covering all values, in-range
+  /// strictly-ascending row indices per column. Throws on violation.
+  void validate() const {
+    require(rows_ >= 0 && cols_ >= 0, "CscMatrix: negative dimension");
+    require(static_cast<index_t>(col_ptr_.size()) == cols_ + 1,
+            "CscMatrix: col_ptr size must be cols+1");
+    require(col_ptr_.front() == 0, "CscMatrix: col_ptr[0] must be 0");
+    require(col_ptr_.back() == static_cast<index_t>(row_idx_.size()),
+            "CscMatrix: col_ptr back must equal nnz");
+    require(row_idx_.size() == values_.size(),
+            "CscMatrix: row_idx/values size mismatch");
+    for (index_t j = 0; j < cols_; ++j) {
+      require(col_ptr_[j] <= col_ptr_[j + 1],
+              "CscMatrix: col_ptr not monotone");
+      for (index_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) {
+        require(row_idx_[p] >= 0 && row_idx_[p] < rows_,
+                "CscMatrix: row index out of range");
+        require(p == col_ptr_[j] || row_idx_[p - 1] < row_idx_[p],
+                "CscMatrix: row indices must be strictly ascending");
+      }
+    }
+  }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> col_ptr_{0};
+  std::vector<index_t> row_idx_;
+  std::vector<T> values_;
+};
+
+}  // namespace rsketch

@@ -1,0 +1,315 @@
+#include "sparse/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "rng/xoshiro.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+
+namespace rsketch {
+
+namespace {
+
+double uniform01(Xoshiro256pp& g) {
+  return static_cast<double>(g.next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+template <typename T>
+T uniform_pm(Xoshiro256pp& g) {
+  return static_cast<T>(static_cast<std::int64_t>(g.next()) *
+                        (1.0 / 9223372036854775808.0));
+}
+
+/// Uniform integer in [0, bound) without modulo bias (rejection from the top).
+index_t uniform_below(Xoshiro256pp& g, index_t bound) {
+  const std::uint64_t b = static_cast<std::uint64_t>(bound);
+  const std::uint64_t limit = ~std::uint64_t{0} - ~std::uint64_t{0} % b;
+  std::uint64_t x;
+  do {
+    x = g.next();
+  } while (x >= limit);
+  return static_cast<index_t>(x % b);
+}
+
+/// Sample `k` distinct sorted values in [0, m).
+std::vector<index_t> sample_distinct_sorted(Xoshiro256pp& g, index_t k,
+                                            index_t m) {
+  std::vector<index_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  if (2 * k >= m) {
+    // Dense regime: reservoir-style selection sweep.
+    index_t needed = k;
+    for (index_t i = 0; i < m && needed > 0; ++i) {
+      const index_t remaining = m - i;
+      if (uniform_below(g, remaining) < needed) {
+        out.push_back(i);
+        --needed;
+      }
+    }
+  } else {
+    std::unordered_set<index_t> seen;
+    seen.reserve(static_cast<std::size_t>(2 * k));
+    while (static_cast<index_t>(out.size()) < k) {
+      const index_t r = uniform_below(g, m);
+      if (seen.insert(r).second) out.push_back(r);
+    }
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+template <typename T>
+CscMatrix<T> random_sparse(index_t m, index_t n, double density,
+                           std::uint64_t seed) {
+  require(m >= 0 && n >= 0, "random_sparse: negative dimension");
+  require(density >= 0.0 && density <= 1.0,
+          "random_sparse: density must be in [0,1]");
+  Xoshiro256pp g(seed);
+  std::vector<index_t> col_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> row_idx;
+  std::vector<T> values;
+  row_idx.reserve(static_cast<std::size_t>(density * static_cast<double>(m) *
+                                           static_cast<double>(n) * 1.1) +
+                  16);
+
+  const double log1mp = density < 1.0 ? std::log1p(-density) : 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    if (density >= 1.0) {
+      for (index_t i = 0; i < m; ++i) {
+        row_idx.push_back(i);
+        values.push_back(uniform_pm<T>(g));
+      }
+    } else if (density > 0.0) {
+      // Geometric skip sampling: exact iid Bernoulli(density) per entry with
+      // rows emitted in ascending order, O(nnz) work.
+      double i = std::floor(std::log(1.0 - uniform01(g)) / log1mp);
+      while (i < static_cast<double>(m)) {
+        row_idx.push_back(static_cast<index_t>(i));
+        values.push_back(uniform_pm<T>(g));
+        i += 1.0 + std::floor(std::log(1.0 - uniform01(g)) / log1mp);
+      }
+    }
+    col_ptr[static_cast<std::size_t>(j) + 1] =
+        static_cast<index_t>(row_idx.size());
+  }
+  values.resize(row_idx.size());
+  return CscMatrix<T>(m, n, std::move(col_ptr), std::move(row_idx),
+                      std::move(values));
+}
+
+template <typename T>
+CscMatrix<T> fixed_nnz_per_col(index_t m, index_t n, index_t k,
+                               std::uint64_t seed) {
+  require(k >= 0 && k <= m, "fixed_nnz_per_col: need 0 <= k <= m");
+  Xoshiro256pp g(seed);
+  std::vector<index_t> col_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> row_idx;
+  std::vector<T> values;
+  row_idx.reserve(static_cast<std::size_t>(k * n));
+  values.reserve(static_cast<std::size_t>(k * n));
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t r : sample_distinct_sorted(g, k, m)) {
+      row_idx.push_back(r);
+      values.push_back(uniform_pm<T>(g));
+    }
+    col_ptr[static_cast<std::size_t>(j) + 1] =
+        static_cast<index_t>(row_idx.size());
+  }
+  return CscMatrix<T>(m, n, std::move(col_ptr), std::move(row_idx),
+                      std::move(values));
+}
+
+template <typename T>
+CscMatrix<T> banded_sparse(index_t m, index_t n, index_t bandwidth,
+                           double density, std::uint64_t seed) {
+  require(bandwidth >= 1, "banded_sparse: bandwidth must be >= 1");
+  require(density >= 0.0 && density <= 1.0,
+          "banded_sparse: density must be in [0,1]");
+  Xoshiro256pp g(seed);
+  // Per column, k = density * m nonzeros drawn inside the band around the
+  // column's scaled diagonal position.
+  const index_t k = std::max<index_t>(
+      1, static_cast<index_t>(std::llround(density * static_cast<double>(m))));
+  std::vector<index_t> col_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> row_idx;
+  std::vector<T> values;
+  for (index_t j = 0; j < n; ++j) {
+    const index_t center =
+        n <= 1 ? 0
+               : static_cast<index_t>((static_cast<double>(j) /
+                                       static_cast<double>(n - 1)) *
+                                      static_cast<double>(m - 1));
+    const index_t lo = std::max<index_t>(0, center - bandwidth);
+    const index_t hi = std::min<index_t>(m, center + bandwidth + 1);
+    const index_t width = hi - lo;
+    const index_t kk = std::min(k, width);
+    for (index_t r : sample_distinct_sorted(g, kk, width)) {
+      row_idx.push_back(lo + r);
+      values.push_back(uniform_pm<T>(g));
+    }
+    col_ptr[static_cast<std::size_t>(j) + 1] =
+        static_cast<index_t>(row_idx.size());
+  }
+  return CscMatrix<T>(m, n, std::move(col_ptr), std::move(row_idx),
+                      std::move(values));
+}
+
+template <typename T>
+CscMatrix<T> abnormal_a(index_t m, index_t n, index_t stride,
+                        std::uint64_t seed) {
+  require(stride >= 1, "abnormal_a: stride must be >= 1");
+  Xoshiro256pp g(seed);
+  std::vector<index_t> dense_rows;
+  for (index_t i = 0; i < m; i += stride) dense_rows.push_back(i);
+  std::vector<index_t> col_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> row_idx;
+  std::vector<T> values;
+  row_idx.reserve(dense_rows.size() * static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i : dense_rows) {
+      row_idx.push_back(i);
+      values.push_back(uniform_pm<T>(g));
+    }
+    col_ptr[static_cast<std::size_t>(j) + 1] =
+        static_cast<index_t>(row_idx.size());
+  }
+  return CscMatrix<T>(m, n, std::move(col_ptr), std::move(row_idx),
+                      std::move(values));
+}
+
+template <typename T>
+CscMatrix<T> abnormal_b(index_t m, index_t n, double density,
+                        double concentration, std::uint64_t seed) {
+  require(concentration >= 0.0 && concentration <= 1.0,
+          "abnormal_b: concentration must be in [0,1]");
+  Xoshiro256pp g(seed);
+  const double total =
+      density * static_cast<double>(m) * static_cast<double>(n);
+  const index_t mid_lo = n / 3;
+  const index_t mid_hi = 2 * n / 3;
+  const double mid_cols = static_cast<double>(mid_hi - mid_lo);
+  const double out_cols = static_cast<double>(n) - mid_cols;
+  const double dens_mid =
+      mid_cols > 0
+          ? std::min(1.0, concentration * total / (mid_cols *
+                                                   static_cast<double>(m)))
+          : 0.0;
+  const double dens_out =
+      out_cols > 0 ? std::min(1.0, (1.0 - concentration) * total /
+                                       (out_cols * static_cast<double>(m)))
+                   : 0.0;
+  std::vector<index_t> col_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> row_idx;
+  std::vector<T> values;
+  for (index_t j = 0; j < n; ++j) {
+    const double d = (j >= mid_lo && j < mid_hi) ? dens_mid : dens_out;
+    const index_t k = std::min<index_t>(
+        m, static_cast<index_t>(std::llround(d * static_cast<double>(m))));
+    for (index_t r : sample_distinct_sorted(g, k, m)) {
+      row_idx.push_back(r);
+      values.push_back(uniform_pm<T>(g));
+    }
+    col_ptr[static_cast<std::size_t>(j) + 1] =
+        static_cast<index_t>(row_idx.size());
+  }
+  return CscMatrix<T>(m, n, std::move(col_ptr), std::move(row_idx),
+                      std::move(values));
+}
+
+template <typename T>
+CscMatrix<T> abnormal_c(index_t m, index_t n, index_t stride,
+                        std::uint64_t seed) {
+  require(stride >= 1, "abnormal_c: stride must be >= 1");
+  Xoshiro256pp g(seed);
+  std::vector<index_t> col_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> row_idx;
+  std::vector<T> values;
+  for (index_t j = 0; j < n; ++j) {
+    if (j % stride == 0) {
+      for (index_t i = 0; i < m; ++i) {
+        row_idx.push_back(i);
+        values.push_back(uniform_pm<T>(g));
+      }
+    }
+    col_ptr[static_cast<std::size_t>(j) + 1] =
+        static_cast<index_t>(row_idx.size());
+  }
+  return CscMatrix<T>(m, n, std::move(col_ptr), std::move(row_idx),
+                      std::move(values));
+}
+
+template <typename T>
+CscMatrix<T> scale_columns_log_uniform(const CscMatrix<T>& base,
+                                       double min_log10, double max_log10,
+                                       std::uint64_t seed) {
+  Xoshiro256pp g(seed);
+  std::vector<index_t> col_ptr = base.col_ptr();
+  std::vector<index_t> row_idx = base.row_idx();
+  std::vector<T> values = base.values();
+  for (index_t j = 0; j < base.cols(); ++j) {
+    const double u = min_log10 + (max_log10 - min_log10) * uniform01(g);
+    const T s = static_cast<T>(std::pow(10.0, u));
+    for (index_t p = col_ptr[static_cast<std::size_t>(j)];
+         p < col_ptr[static_cast<std::size_t>(j) + 1]; ++p) {
+      values[static_cast<std::size_t>(p)] *= s;
+    }
+  }
+  return CscMatrix<T>(base.rows(), base.cols(), std::move(col_ptr),
+                      std::move(row_idx), std::move(values));
+}
+
+template <typename T>
+CscMatrix<T> append_near_duplicate_cols(const CscMatrix<T>& base, index_t ndup,
+                                        double eps, std::uint64_t seed) {
+  require(base.cols() > 0 || ndup == 0,
+          "append_near_duplicate_cols: base has no columns to duplicate");
+  Xoshiro256pp g(seed);
+  CooMatrix<T> coo(base.rows(), base.cols() + ndup);
+  coo.reserve(base.nnz() + ndup * (base.nnz() / std::max<index_t>(1, base.cols()) + 1));
+  for (index_t j = 0; j < base.cols(); ++j) {
+    for (index_t p = base.col_ptr()[static_cast<std::size_t>(j)];
+         p < base.col_ptr()[static_cast<std::size_t>(j) + 1]; ++p) {
+      coo.push(base.row_idx()[static_cast<std::size_t>(p)], j,
+               base.values()[static_cast<std::size_t>(p)]);
+    }
+  }
+  for (index_t d = 0; d < ndup; ++d) {
+    const index_t src = uniform_below(g, base.cols());
+    for (index_t p = base.col_ptr()[static_cast<std::size_t>(src)];
+         p < base.col_ptr()[static_cast<std::size_t>(src) + 1]; ++p) {
+      const T noise = static_cast<T>(eps) * uniform_pm<T>(g);
+      coo.push(base.row_idx()[static_cast<std::size_t>(p)], base.cols() + d,
+               base.values()[static_cast<std::size_t>(p)] * (T{1} + noise));
+    }
+  }
+  return coo_to_csc(coo);
+}
+
+#define RSKETCH_INSTANTIATE(T)                                              \
+  template CscMatrix<T> random_sparse<T>(index_t, index_t, double,          \
+                                         std::uint64_t);                    \
+  template CscMatrix<T> fixed_nnz_per_col<T>(index_t, index_t, index_t,     \
+                                             std::uint64_t);                \
+  template CscMatrix<T> banded_sparse<T>(index_t, index_t, index_t, double, \
+                                         std::uint64_t);                    \
+  template CscMatrix<T> abnormal_a<T>(index_t, index_t, index_t,            \
+                                      std::uint64_t);                       \
+  template CscMatrix<T> abnormal_b<T>(index_t, index_t, double, double,     \
+                                      std::uint64_t);                       \
+  template CscMatrix<T> abnormal_c<T>(index_t, index_t, index_t,            \
+                                      std::uint64_t);                       \
+  template CscMatrix<T> scale_columns_log_uniform<T>(                       \
+      const CscMatrix<T>&, double, double, std::uint64_t);                  \
+  template CscMatrix<T> append_near_duplicate_cols<T>(                      \
+      const CscMatrix<T>&, index_t, double, std::uint64_t);
+
+RSKETCH_INSTANTIATE(float)
+RSKETCH_INSTANTIATE(double)
+#undef RSKETCH_INSTANTIATE
+
+}  // namespace rsketch

@@ -1,0 +1,65 @@
+// Synthetic sparse matrix generators: the uniform-density model of §III-A,
+// the Abnormal_A/B/C patterns of Table VI, and the structured constructions
+// used to replicate the SuiteSparse test matrices (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csc.hpp"
+
+namespace rsketch {
+
+/// iid-Bernoulli(density) sparsity with U(-1,1) values — the uniformly
+/// distributed sparse model the paper's analysis assumes. Deterministic in
+/// `seed`. Uses geometric skip sampling, O(nnz) time.
+template <typename T>
+CscMatrix<T> random_sparse(index_t m, index_t n, double density,
+                           std::uint64_t seed);
+
+/// Exactly `k` nonzeros per column at distinct random rows (the structure of
+/// simplicial boundary matrices such as mk-12 / ch7-9-b3 / cis-n4c6-b4,
+/// which have a fixed entry count per column). Values U(-1,1).
+template <typename T>
+CscMatrix<T> fixed_nnz_per_col(index_t m, index_t n, index_t k,
+                               std::uint64_t seed);
+
+/// Band-limited random sparsity: nonzeros of column j fall within
+/// `bandwidth` rows of the column's diagonal position scaled to m/n
+/// (mesh-like locality, used for the mesh_deform replica).
+template <typename T>
+CscMatrix<T> banded_sparse(index_t m, index_t n, index_t bandwidth,
+                           double density, std::uint64_t seed);
+
+/// Table VI Abnormal_A: every `stride`-th row is fully dense, all other rows
+/// are zero.
+template <typename T>
+CscMatrix<T> abnormal_a(index_t m, index_t n, index_t stride,
+                        std::uint64_t seed);
+
+/// Table VI Abnormal_B: a `concentration` fraction of the nonzeros lies in
+/// the middle-third vertical block of columns; the remainder is uniform.
+template <typename T>
+CscMatrix<T> abnormal_b(index_t m, index_t n, double density,
+                        double concentration, std::uint64_t seed);
+
+/// Table VI Abnormal_C: every `stride`-th column is fully dense, all other
+/// columns are zero.
+template <typename T>
+CscMatrix<T> abnormal_c(index_t m, index_t n, index_t stride,
+                        std::uint64_t seed);
+
+/// Rescale each column by 10^u, u ~ U(min_log10, max_log10): produces the
+/// "terrible cond(A), benign cond(AD)" profile of the specular matrix.
+template <typename T>
+CscMatrix<T> scale_columns_log_uniform(const CscMatrix<T>& base,
+                                       double min_log10, double max_log10,
+                                       std::uint64_t seed);
+
+/// Append `ndup` near-duplicate columns (existing column + eps·noise):
+/// produces genuine near-rank-deficiency that survives diagonal scaling
+/// (the connectus / landmark profile).
+template <typename T>
+CscMatrix<T> append_near_duplicate_cols(const CscMatrix<T>& base, index_t ndup,
+                                        double eps, std::uint64_t seed);
+
+}  // namespace rsketch

@@ -1,0 +1,145 @@
+#include "sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+
+namespace rsketch {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+struct MmHeader {
+  bool pattern = false;
+  bool symmetric = false;
+  bool skew = false;
+};
+
+MmHeader parse_banner(const std::string& line) {
+  std::istringstream iss(line);
+  std::string tag, object, format, field, symmetry;
+  iss >> tag >> object >> format >> field >> symmetry;
+  if (tag != "%%MatrixMarket") {
+    throw io_error("MatrixMarket: missing %%MatrixMarket banner");
+  }
+  if (lower(object) != "matrix" || lower(format) != "coordinate") {
+    throw io_error("MatrixMarket: only 'matrix coordinate' is supported");
+  }
+  const std::string f = lower(field);
+  if (f != "real" && f != "integer" && f != "pattern") {
+    throw io_error("MatrixMarket: unsupported field type '" + field + "'");
+  }
+  const std::string s = lower(symmetry);
+  if (s != "general" && s != "symmetric" && s != "skew-symmetric") {
+    throw io_error("MatrixMarket: unsupported symmetry '" + symmetry + "'");
+  }
+  MmHeader h;
+  h.pattern = (f == "pattern");
+  h.symmetric = (s == "symmetric" || s == "skew-symmetric");
+  h.skew = (s == "skew-symmetric");
+  return h;
+}
+
+}  // namespace
+
+template <typename T>
+CscMatrix<T> read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw io_error("MatrixMarket: empty stream");
+  const MmHeader h = parse_banner(line);
+
+  // Skip comments to the size line.
+  do {
+    if (!std::getline(in, line)) {
+      throw io_error("MatrixMarket: missing size line");
+    }
+  } while (!line.empty() && line[0] == '%');
+
+  index_t m = 0, n = 0, nnz = 0;
+  {
+    std::istringstream iss(line);
+    if (!(iss >> m >> n >> nnz) || m < 0 || n < 0 || nnz < 0) {
+      throw io_error("MatrixMarket: malformed size line: " + line);
+    }
+  }
+
+  CooMatrix<T> coo(m, n);
+  coo.reserve(h.symmetric ? 2 * nnz : nnz);
+  for (index_t k = 0; k < nnz; ++k) {
+    if (!std::getline(in, line)) {
+      throw io_error("MatrixMarket: unexpected end of entries");
+    }
+    if (line.empty() || line[0] == '%') {
+      --k;  // tolerate stray blank/comment lines between entries
+      continue;
+    }
+    std::istringstream iss(line);
+    index_t i = 0, j = 0;
+    double v = 1.0;
+    if (!(iss >> i >> j)) {
+      throw io_error("MatrixMarket: malformed entry: " + line);
+    }
+    if (!h.pattern && !(iss >> v)) {
+      throw io_error("MatrixMarket: entry missing value: " + line);
+    }
+    if (i < 1 || i > m || j < 1 || j > n) {
+      throw io_error("MatrixMarket: entry index out of range: " + line);
+    }
+    coo.push(i - 1, j - 1, static_cast<T>(v));
+    if (h.symmetric && i != j) {
+      coo.push(j - 1, i - 1, static_cast<T>(h.skew ? -v : v));
+    }
+  }
+  return coo_to_csc(coo);
+}
+
+template <typename T>
+CscMatrix<T> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw io_error("MatrixMarket: cannot open '" + path + "'");
+  return read_matrix_market<T>(in);
+}
+
+template <typename T>
+void write_matrix_market(std::ostream& out, const CscMatrix<T>& a) {
+  out.precision(std::numeric_limits<T>::max_digits10);
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows() << " " << a.cols() << " " << a.nnz() << "\n";
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t p = a.col_ptr()[static_cast<std::size_t>(j)];
+         p < a.col_ptr()[static_cast<std::size_t>(j) + 1]; ++p) {
+      out << (a.row_idx()[static_cast<std::size_t>(p)] + 1) << " " << (j + 1)
+          << " " << a.values()[static_cast<std::size_t>(p)] << "\n";
+    }
+  }
+}
+
+template <typename T>
+void write_matrix_market_file(const std::string& path, const CscMatrix<T>& a) {
+  std::ofstream out(path);
+  if (!out) throw io_error("MatrixMarket: cannot open '" + path + "'");
+  write_matrix_market(out, a);
+}
+
+#define RSKETCH_INSTANTIATE(T)                                       \
+  template CscMatrix<T> read_matrix_market<T>(std::istream&);       \
+  template CscMatrix<T> read_matrix_market_file<T>(const std::string&); \
+  template void write_matrix_market<T>(std::ostream&, const CscMatrix<T>&); \
+  template void write_matrix_market_file<T>(const std::string&,     \
+                                            const CscMatrix<T>&);
+
+RSKETCH_INSTANTIATE(float)
+RSKETCH_INSTANTIATE(double)
+#undef RSKETCH_INSTANTIATE
+
+}  // namespace rsketch

@@ -1,0 +1,32 @@
+// Matrix Market (.mtx) coordinate I/O — enough of the format to load the
+// SuiteSparse collection matrices the paper benchmarks (coordinate
+// real/integer/pattern, general or symmetric).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csc.hpp"
+
+namespace rsketch {
+
+/// Parse a Matrix Market coordinate stream into CSC. Supports field types
+/// real/integer/pattern (pattern entries become 1.0) and symmetry
+/// general/symmetric/skew-symmetric (mirrored entries are materialized).
+/// Throws io_error on malformed input.
+template <typename T>
+CscMatrix<T> read_matrix_market(std::istream& in);
+
+/// Load a .mtx file from disk. Throws io_error if the file cannot be opened
+/// or parsed.
+template <typename T>
+CscMatrix<T> read_matrix_market_file(const std::string& path);
+
+/// Write CSC as "matrix coordinate real general" with 1-based indices.
+template <typename T>
+void write_matrix_market(std::ostream& out, const CscMatrix<T>& a);
+
+template <typename T>
+void write_matrix_market_file(const std::string& path, const CscMatrix<T>& a);
+
+}  // namespace rsketch

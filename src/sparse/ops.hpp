@@ -1,0 +1,48 @@
+// Sparse BLAS-2 style operations used by the least-squares solvers
+// (LSQR needs y += A·x and x += Aᵀ·y) plus norm/structure queries.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace rsketch {
+
+/// y := beta*y + alpha*A*x, A in CSC. x has length A.cols(), y A.rows().
+/// OpenMP-parallel over columns is racy for CSC*vec, so this parallelizes
+/// only the scaling; the per-column scatter is sequential (LSQR's SpMV is
+/// not the bottleneck the paper targets).
+template <typename T>
+void spmv(const CscMatrix<T>& a, const T* x, T* y, T alpha = T{1},
+          T beta = T{0});
+
+/// y := beta*y + alpha*Aᵀ*x, A in CSC (gather per column — parallel-safe).
+template <typename T>
+void spmv_transpose(const CscMatrix<T>& a, const T* x, T* y, T alpha = T{1},
+                    T beta = T{0});
+
+/// Euclidean norm of each column of A.
+template <typename T>
+std::vector<T> column_norms(const CscMatrix<T>& a);
+
+/// Frobenius norm of A.
+template <typename T>
+T frobenius_norm(const CscMatrix<T>& a);
+
+/// Number of rows with no nonzero entries.
+template <typename T>
+index_t count_empty_rows(const CscMatrix<T>& a);
+
+/// Number of columns with no nonzero entries.
+template <typename T>
+index_t count_empty_cols(const CscMatrix<T>& a);
+
+/// Remove empty columns (paper removed 158 empty columns from "specular").
+template <typename T>
+CscMatrix<T> drop_empty_cols(const CscMatrix<T>& a);
+
+/// Remove empty rows (paper removed 54 empty rows from "connectus").
+template <typename T>
+CscMatrix<T> drop_empty_rows(const CscMatrix<T>& a);
+
+}  // namespace rsketch

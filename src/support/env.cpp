@@ -1,0 +1,51 @@
+#include "support/env.hpp"
+
+#include <omp.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace rsketch {
+
+long long env_int(const char* name, long long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+index_t bench_scale() {
+  long long s = env_int("RSKETCH_SCALE", 6);
+  return s >= 1 ? static_cast<index_t>(s) : 1;
+}
+
+index_t ls_scale() {
+  long long s = env_int("RSKETCH_LS_SCALE", bench_scale());
+  return s >= 1 ? static_cast<index_t>(s) : 1;
+}
+
+int bench_reps() {
+  long long r = env_int("RSKETCH_REPS", 3);
+  return r >= 1 ? static_cast<int>(r) : 1;
+}
+
+int bench_max_threads() {
+  long long t = env_int("RSKETCH_MAX_THREADS", omp_get_max_threads());
+  return t >= 1 ? static_cast<int>(t) : 1;
+}
+
+}  // namespace rsketch

@@ -1,0 +1,39 @@
+// Environment-variable driven benchmark configuration.
+//
+// All bench binaries scale the paper's problem sizes through RSKETCH_SCALE so
+// the full suite runs on a laptop; RSKETCH_SCALE=1 reproduces paper-size
+// problems (needs tens of GB and many cores).
+#pragma once
+
+#include <string>
+
+#include "support/common.hpp"
+
+namespace rsketch {
+
+/// Read an integer environment variable, falling back to `fallback` when the
+/// variable is unset or unparsable.
+long long env_int(const char* name, long long fallback);
+
+/// Read a floating-point environment variable with fallback.
+double env_double(const char* name, double fallback);
+
+/// Read a string environment variable with fallback.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Global dimension divisor for benchmark replicas (RSKETCH_SCALE, default 6).
+index_t bench_scale();
+
+/// Dimension divisor for the least-squares replicas (RSKETCH_LS_SCALE,
+/// default = bench_scale()). The direct sparse QR baseline costs O(m·n²) in
+/// the worst case, so LS problems sometimes need a larger divisor.
+index_t ls_scale();
+
+/// Repetitions per timing measurement (RSKETCH_REPS, default 3).
+int bench_reps();
+
+/// Maximum thread count exercised by scaling benches (RSKETCH_MAX_THREADS,
+/// default: OpenMP's max).
+int bench_max_threads();
+
+}  // namespace rsketch

@@ -1,0 +1,23 @@
+#include "support/memory_tracker.hpp"
+
+#include <algorithm>
+
+namespace rsketch {
+
+void MemoryTracker::add(const std::string& label, std::size_t bytes) {
+  current_ += bytes;
+  peak_ = std::max(peak_, current_);
+  items_.emplace_back(label, bytes);
+}
+
+void MemoryTracker::release(std::size_t bytes) {
+  current_ = bytes > current_ ? 0 : current_ - bytes;
+}
+
+void MemoryTracker::clear() {
+  current_ = 0;
+  peak_ = 0;
+  items_.clear();
+}
+
+}  // namespace rsketch

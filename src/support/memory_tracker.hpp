@@ -1,0 +1,41 @@
+// Byte-level workspace accounting used to reproduce the paper's Table XI
+// (memory requirements of SAP vs. a direct sparse QR solver).
+//
+// Solvers report the peak extra workspace they allocate beyond the input
+// matrix itself; we track that explicitly rather than hooking the allocator,
+// so the numbers are deterministic and allocator-independent.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rsketch {
+
+/// Records named allocations and reports current / peak totals in bytes.
+class MemoryTracker {
+ public:
+  /// Record an allocation of `bytes` under `label`.
+  void add(const std::string& label, std::size_t bytes);
+
+  /// Record that `bytes` previously added were released.
+  void release(std::size_t bytes);
+
+  std::size_t current_bytes() const { return current_; }
+  std::size_t peak_bytes() const { return peak_; }
+  double peak_mbytes() const { return static_cast<double>(peak_) / 1.0e6; }
+
+  /// Itemized (label, bytes) pairs in insertion order.
+  const std::vector<std::pair<std::string, std::size_t>>& items() const {
+    return items_;
+  }
+
+  void clear();
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+  std::vector<std::pair<std::string, std::size_t>> items_;
+};
+
+}  // namespace rsketch

@@ -1,0 +1,27 @@
+// Thin OpenMP helpers so the rest of the library never touches raw OpenMP
+// pragmas outside the hot kernels.
+#pragma once
+
+#include <omp.h>
+
+namespace rsketch {
+
+/// Number of threads the next parallel region will use.
+inline int max_threads() { return omp_get_max_threads(); }
+
+/// RAII override of the OpenMP thread count, restored on destruction.
+/// Used by the parallel-scaling benches to sweep thread counts.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int nthreads) : saved_(omp_get_max_threads()) {
+    if (nthreads >= 1) omp_set_num_threads(nthreads);
+  }
+  ThreadCountGuard(const ThreadCountGuard&) = delete;
+  ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
+  ~ThreadCountGuard() { omp_set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+}  // namespace rsketch

@@ -1,0 +1,131 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "support/common.hpp"
+
+namespace rsketch {
+
+namespace {
+constexpr const char* kSeparatorSentinel = "\x01--";
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t digits = 0;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  }
+  return digits * 2 >= s.size();
+}
+}  // namespace
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  require(header_.empty() || row.size() == header_.size(),
+          "Table::add_row: cell count does not match header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.push_back({kSeparatorSentinel}); }
+
+std::size_t Table::row_count() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_) {
+    if (!(r.size() == 1 && r[0] == kSeparatorSentinel)) ++n;
+  }
+  return n;
+}
+
+std::string Table::render() const {
+  // Determine column count and widths.
+  std::size_t ncol = header_.size();
+  for (const auto& r : rows_) {
+    if (r.size() == 1 && r[0] == kSeparatorSentinel) continue;
+    ncol = std::max(ncol, r.size());
+  }
+  std::vector<std::size_t> width(ncol, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) {
+    if (r.size() == 1 && r[0] == kSeparatorSentinel) continue;
+    widen(r);
+  }
+
+  std::size_t total = ncol > 0 ? (ncol - 1) * 3 : 0;
+  for (std::size_t w : width) total += w;
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << "\n";
+  std::string rule(total, '-');
+  auto emit_row = [&](const std::vector<std::string>& r, bool force_left) {
+    for (std::size_t c = 0; c < ncol; ++c) {
+      const std::string cell = c < r.size() ? r[c] : "";
+      const bool right = !force_left && c > 0 && looks_numeric(cell);
+      if (c > 0) out << " | ";
+      if (right) {
+        out << std::string(width[c] - cell.size(), ' ') << cell;
+      } else {
+        out << cell << std::string(width[c] - cell.size(), ' ');
+      }
+    }
+    out << "\n";
+  };
+
+  out << rule << "\n";
+  if (!header_.empty()) {
+    emit_row(header_, /*force_left=*/true);
+    out << rule << "\n";
+  }
+  for (const auto& r : rows_) {
+    if (r.size() == 1 && r[0] == kSeparatorSentinel) {
+      out << rule << "\n";
+    } else {
+      emit_row(r, /*force_left=*/false);
+    }
+  }
+  out << rule << "\n";
+  if (!footnote_.empty()) out << footnote_ << "\n";
+  return out.str();
+}
+
+std::string fmt_time(double seconds) {
+  char buf[64];
+  if (seconds >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.1f", seconds);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f", seconds);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4f", seconds);
+  }
+  return buf;
+}
+
+std::string fmt_fixed(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2e", v);
+  return buf;
+}
+
+std::string fmt_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+}  // namespace rsketch

@@ -1,0 +1,54 @@
+// Plain-text table formatter that renders benchmark results in the style of
+// the paper's tables (aligned columns, optional title and footnote).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rsketch {
+
+/// Column alignment for Table cells.
+enum class Align { Left, Right };
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+///
+/// Usage:
+///   Table t("TABLE II: timing comparison");
+///   t.set_header({"Matrix", "MKL-style", "Alg3 (-1,1)"});
+///   t.add_row({"mk-12", fmt_time(a), fmt_time(b)});
+///   std::cout << t.render();
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Horizontal separator line between row groups.
+  void add_separator();
+  void set_footnote(std::string note) { footnote_ = std::move(note); }
+
+  /// Number of data rows added so far (separators excluded).
+  std::size_t row_count() const;
+
+  /// Render the table to a string, aligning numeric-looking cells right.
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::string footnote_;
+  std::vector<std::string> header_;
+  // A row with the single sentinel cell "\x01--" renders as a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds with 4 significant digits (paper style, e.g. "0.0501").
+std::string fmt_time(double seconds);
+/// Format a double in fixed notation with `prec` digits.
+std::string fmt_fixed(double v, int prec);
+/// Format a double in scientific notation with 2 digits (e.g. "2.02e-03").
+std::string fmt_sci(double v);
+/// Format an integer with no grouping.
+std::string fmt_int(long long v);
+
+}  // namespace rsketch

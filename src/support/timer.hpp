@@ -1,0 +1,49 @@
+// Wall-clock timing utilities used by the benchmark harness and the
+// sample-time instrumentation inside the sketching kernels.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rsketch {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulating timer: total of explicitly bracketed intervals. Used to
+/// separate "sample time" (RNG) from total SpMM time as in paper Tables
+/// III/V without timing each inner call individually.
+class AccumTimer {
+ public:
+  void start() { t_.reset(); running_ = true; }
+  void stop() {
+    if (running_) {
+      total_ += t_.seconds();
+      running_ = false;
+    }
+  }
+  void clear() { total_ = 0.0; running_ = false; }
+  double seconds() const { return total_; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace rsketch

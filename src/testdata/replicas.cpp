@@ -1,0 +1,205 @@
+#include "testdata/replicas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/xoshiro.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generate.hpp"
+
+namespace rsketch {
+
+namespace {
+
+constexpr std::uint64_t kReplicaSeed = 0x5EED0DA7A;
+
+index_t scaled(index_t v, index_t s, index_t floor_v = 1) {
+  return std::max<index_t>(floor_v, v / s);
+}
+
+}  // namespace
+
+const std::vector<SpmmReplicaInfo>& spmm_replica_infos() {
+  static const std::vector<SpmmReplicaInfo> infos = {
+      {"mk-12", 4455, 13860, 1485, 41580},
+      {"ch7-9-b3", 52920, 105840, 17640, 423360},
+      {"shar_te2-b2", 51480, 200200, 17160, 600600},
+      {"mesh_deform", 28179, 234023, 9393, 853829},
+      {"cis-n4c6-b4", 17910, 20058, 5970, 100290},
+  };
+  return infos;
+}
+
+template <typename T>
+CscMatrix<T> make_spmm_replica(const std::string& name, index_t scale) {
+  require(scale >= 1, "make_spmm_replica: scale must be >= 1");
+  for (const auto& info : spmm_replica_infos()) {
+    if (info.name != name) continue;
+    const index_t m = scaled(info.m, scale);
+    const index_t n = scaled(info.n, scale);
+    // Per-column count of the original (simplicial boundary matrices have a
+    // fixed entry count per column).
+    const index_t k = std::max<index_t>(
+        1, std::min(m, (info.nnz + info.n - 1) / info.n));
+    if (name == "mesh_deform") {
+      // Mesh deformation matrices are band-local; replicate with a band of
+      // ~2% of the rows around the scaled diagonal.
+      const index_t band = std::max<index_t>(k, m / 50);
+      const double density = static_cast<double>(k) / static_cast<double>(m);
+      return banded_sparse<T>(m, n, band, density, kReplicaSeed);
+    }
+    return fixed_nnz_per_col<T>(m, n, k, kReplicaSeed + info.d);
+  }
+  throw invalid_argument_error("make_spmm_replica: unknown dataset '" + name +
+                               "'");
+}
+
+index_t spmm_replica_d(const std::string& name, index_t scale) {
+  for (const auto& info : spmm_replica_infos()) {
+    if (info.name == name) return 3 * scaled(info.n, scale);
+  }
+  throw invalid_argument_error("spmm_replica_d: unknown dataset '" + name +
+                               "'");
+}
+
+const std::vector<LsReplicaInfo>& ls_replica_infos() {
+  // Dimensions after the paper's transposition (m is the long axis).
+  static const std::vector<LsReplicaInfo> infos = {
+      {"rail2586", 923269, 2586, 8011362, 496.00, false},
+      {"spal_004", 321696, 10203, 46168124, 39389.87, false},
+      {"rail4284", 1096894, 4284, 11284032, 399.78, false},
+      {"rail582", 56097, 582, 402290, 185.91, false},
+      {"specular", 477976, 1442, 7647040, 2.31e14, true},
+      {"connectus", 394792, 458, 1127525, 1.27e16, true},
+      {"landmark", 71952, 2704, 1146848, 1.39e18, true},
+  };
+  return infos;
+}
+
+namespace {
+
+/// The paper drops empty columns/rows from its test matrices ("we removed
+/// 158 empty columns from specular"); the replicas instead guarantee every
+/// column is structurally nonempty by injecting one entry where needed, so
+/// the QR-based solvers stay well-posed at any scale.
+CscMatrix<double> ensure_no_empty_cols(const CscMatrix<double>& a,
+                                       std::uint64_t seed) {
+  index_t empties = 0;
+  for (index_t j = 0; j < a.cols(); ++j) empties += a.col_nnz(j) == 0;
+  if (empties == 0) return a;
+  Xoshiro256pp g(seed);
+  CooMatrix<double> coo(a.rows(), a.cols());
+  coo.reserve(a.nnz() + empties);
+  for (index_t j = 0; j < a.cols(); ++j) {
+    if (a.col_nnz(j) == 0) {
+      const auto row = static_cast<index_t>(
+          g.next() % static_cast<std::uint64_t>(a.rows()));
+      const double v = static_cast<double>(static_cast<std::int64_t>(g.next())) *
+                       (1.0 / 9223372036854775808.0);
+      coo.push(row, j, v);
+      continue;
+    }
+    for (index_t p = a.col_ptr()[static_cast<std::size_t>(j)];
+         p < a.col_ptr()[static_cast<std::size_t>(j) + 1]; ++p) {
+      coo.push(a.row_idx()[static_cast<std::size_t>(p)], j,
+               a.values()[static_cast<std::size_t>(p)]);
+    }
+  }
+  return coo_to_csc(coo);
+}
+
+/// Tall matrix with a SMOOTHLY spread spectrum of condition number
+/// ~cond_target that diagonal column scaling cannot repair — the property
+/// that makes the rail/spal problems expensive for LSQR-D (Table IX: 477 to
+/// 4830 iterations) while SAP's sketch preconditioner is indifferent to it.
+/// Construction: a shifted 1-D Laplacian block (eigenvalues spread over
+/// [γ, 4+γ], no clustering for Krylov methods to exploit) on the first n
+/// rows, plus uniform random sparsity below to reach the target density.
+CscMatrix<double> spread_spectrum_tall(index_t m, index_t n, double density,
+                                       double cond_target,
+                                       std::uint64_t seed) {
+  const double gamma = 4.0 / std::max(cond_target - 1.0, 1.5);
+  CooMatrix<double> coo(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    if (j > 0) coo.push(j - 1, j, -1.0);
+    coo.push(j, j, 2.0 + gamma);
+    if (j + 1 < n) coo.push(j + 1, j, -1.0);
+  }
+  // Low-amplitude random filler in the remaining rows: supplies the nnz
+  // budget and the tall aspect without disturbing the planted spectrum.
+  // FᵀF adds ≈ k·a²/3 to every squared singular value (k = expected filler
+  // nonzeros per column), so the amplitude a is chosen to keep that floor
+  // two orders of magnitude below the planted σ²min = γ².
+  if (m > n) {
+    const double k =
+        std::max(1.0, density * static_cast<double>(m - n));
+    const double amplitude = gamma * std::sqrt(0.03 / k);
+    const auto filler = random_sparse<double>(m - n, n, density, seed);
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t p = filler.col_ptr()[static_cast<std::size_t>(j)];
+           p < filler.col_ptr()[static_cast<std::size_t>(j) + 1]; ++p) {
+        coo.push(n + filler.row_idx()[static_cast<std::size_t>(p)], j,
+                 amplitude * filler.values()[static_cast<std::size_t>(p)]);
+      }
+    }
+  }
+  return coo_to_csc(coo);
+}
+
+}  // namespace
+
+CscMatrix<double> make_ls_replica(const std::string& name, index_t scale) {
+  require(scale >= 1, "make_ls_replica: scale must be >= 1");
+  for (const auto& info : ls_replica_infos()) {
+    if (info.name != name) continue;
+    const index_t n = scaled(info.n, scale, /*floor=*/8);
+    // Keep the problem strictly overdetermined at any scale.
+    const index_t m =
+        std::max(scaled(info.m, scale * scale, /*floor=*/64), 4 * n);
+    const double density =
+        static_cast<double>(info.nnz) /
+        (static_cast<double>(info.m) * static_cast<double>(info.n));
+    const std::uint64_t seed = kReplicaSeed ^ (info.m * 2654435761ULL);
+
+    if (name == "specular") {
+      // cond(A) ~ 1e14 entirely from column scaling: cond(AD) is benign.
+      CscMatrix<double> base = ensure_no_empty_cols(
+          random_sparse<double>(m, n, density, seed), seed + 9);
+      return scale_columns_log_uniform(base, -7.0, 7.0, seed + 1);
+    }
+    if (name == "connectus") {
+      // Near-duplicate columns: ill-conditioning survives diagonal scaling.
+      const index_t ndup = std::max<index_t>(2, n / 8);
+      CscMatrix<double> base = ensure_no_empty_cols(
+          random_sparse<double>(m, n - ndup, density, seed), seed + 9);
+      return append_near_duplicate_cols(base, ndup, 1e-14, seed + 1);
+    }
+    if (name == "landmark") {
+      // Both pathologies: duplicates plus strong column scaling.
+      const index_t ndup = std::max<index_t>(2, n / 10);
+      CscMatrix<double> base = ensure_no_empty_cols(
+          random_sparse<double>(m, n - ndup, density, seed), seed + 9);
+      base = scale_columns_log_uniform(base, -4.0, 4.0, seed + 1);
+      return append_near_duplicate_cols(base, ndup, 1e-13, seed + 2);
+    }
+    // rail* / spal_004: moderately conditioned but with a smoothly spread
+    // spectrum (their Table VIII cond(AD) stays in the hundreds-thousands,
+    // which is why LSQR-D needs 477-4830 iterations there).
+    const double cond_ad =
+        name == "rail2586" ? 263.44
+        : name == "spal_004" ? 1147.79
+        : name == "rail4284" ? 333.87
+                             : 180.49;  // rail582
+    return spread_spectrum_tall(m, n, density, cond_ad, seed);
+  }
+  throw invalid_argument_error("make_ls_replica: unknown dataset '" + name +
+                               "'");
+}
+
+template CscMatrix<float> make_spmm_replica<float>(const std::string&,
+                                                   index_t);
+template CscMatrix<double> make_spmm_replica<double>(const std::string&,
+                                                     index_t);
+
+}  // namespace rsketch

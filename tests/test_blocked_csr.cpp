@@ -1,0 +1,97 @@
+// Tests for the Algorithm 4 auxiliary structure: vertical-block CSR
+// partitioning of a CSC matrix, sequential and parallel construction.
+#include <gtest/gtest.h>
+
+#include "sparse/blocked_csr.hpp"
+#include "sparse/generate.hpp"
+
+namespace rsketch {
+namespace {
+
+TEST(BlockedCsr, PartitionsColumnsCorrectly) {
+  const auto a = random_sparse<double>(30, 17, 0.2, 5);
+  const auto ab = BlockedCsr<double>::from_csc(a, 5);
+  EXPECT_EQ(ab.rows(), 30);
+  EXPECT_EQ(ab.cols(), 17);
+  EXPECT_EQ(ab.num_blocks(), 4);  // 5+5+5+2
+  EXPECT_EQ(ab.block(0).col0, 0);
+  EXPECT_EQ(ab.block(3).col0, 15);
+  EXPECT_EQ(ab.block(3).csr.cols(), 2);
+  EXPECT_EQ(ab.nnz(), a.nnz());
+}
+
+TEST(BlockedCsr, EntriesMatchOriginal) {
+  const auto a = random_sparse<double>(25, 13, 0.3, 9);
+  const auto ab = BlockedCsr<double>::from_csc(a, 4);
+  for (index_t b = 0; b < ab.num_blocks(); ++b) {
+    const auto& blk = ab.block(b);
+    blk.csr.validate();
+    for (index_t i = 0; i < blk.csr.rows(); ++i) {
+      for (index_t jl = 0; jl < blk.csr.cols(); ++jl) {
+        EXPECT_DOUBLE_EQ(blk.csr.at(i, jl), a.at(i, blk.col0 + jl));
+      }
+    }
+  }
+}
+
+TEST(BlockedCsr, ParallelMatchesSequential) {
+  const auto a = random_sparse<float>(200, 60, 0.05, 31);
+  const auto seq = BlockedCsr<float>::from_csc(a, 7);
+  const auto par = BlockedCsr<float>::from_csc_parallel(a, 7);
+  ASSERT_EQ(seq.num_blocks(), par.num_blocks());
+  for (index_t b = 0; b < seq.num_blocks(); ++b) {
+    EXPECT_EQ(seq.block(b).col0, par.block(b).col0);
+    EXPECT_EQ(seq.block(b).csr.row_ptr(), par.block(b).csr.row_ptr());
+    EXPECT_EQ(seq.block(b).csr.col_idx(), par.block(b).csr.col_idx());
+    EXPECT_EQ(seq.block(b).csr.values(), par.block(b).csr.values());
+  }
+}
+
+TEST(BlockedCsr, BlockWiderThanMatrix) {
+  const auto a = random_sparse<double>(10, 6, 0.4, 2);
+  const auto ab = BlockedCsr<double>::from_csc(a, 100);
+  EXPECT_EQ(ab.num_blocks(), 1);
+  EXPECT_EQ(ab.block(0).csr.cols(), 6);
+  EXPECT_EQ(ab.nnz(), a.nnz());
+}
+
+TEST(BlockedCsr, SingleColumnBlocks) {
+  const auto a = random_sparse<double>(12, 5, 0.5, 3);
+  const auto ab = BlockedCsr<double>::from_csc(a, 1);
+  EXPECT_EQ(ab.num_blocks(), 5);
+  for (index_t b = 0; b < 5; ++b) {
+    EXPECT_EQ(ab.block(b).csr.cols(), 1);
+  }
+  EXPECT_EQ(ab.nnz(), a.nnz());
+}
+
+TEST(BlockedCsr, EmptyMatrix) {
+  CscMatrix<double> a(8, 0);
+  const auto ab = BlockedCsr<double>::from_csc(a, 3);
+  EXPECT_EQ(ab.num_blocks(), 0);
+  EXPECT_EQ(ab.nnz(), 0);
+}
+
+TEST(BlockedCsr, RowsWithinBlocksSorted) {
+  const auto a = random_sparse<double>(50, 20, 0.15, 77);
+  const auto ab = BlockedCsr<double>::from_csc(a, 6);
+  for (index_t b = 0; b < ab.num_blocks(); ++b) {
+    ab.block(b).csr.validate();  // enforces ascending local columns per row
+  }
+}
+
+TEST(BlockedCsr, InvalidBlockColsThrows) {
+  const auto a = random_sparse<double>(5, 5, 0.2, 1);
+  EXPECT_THROW(BlockedCsr<double>::from_csc(a, 0), invalid_argument_error);
+  EXPECT_THROW(BlockedCsr<double>::from_csc_parallel(a, -2),
+               invalid_argument_error);
+}
+
+TEST(BlockedCsr, MemoryBytesPositive) {
+  const auto a = random_sparse<double>(40, 12, 0.3, 8);
+  const auto ab = BlockedCsr<double>::from_csc(a, 4);
+  EXPECT_GT(ab.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace rsketch

@@ -1,0 +1,158 @@
+// Dense matrix container, BLAS-1 kernels, and the blocked reference GEMM.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "dense/blas1.hpp"
+#include "dense/dense_matrix.hpp"
+#include "dense/gemm.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace rsketch {
+namespace {
+
+void fill_random(DenseMatrix<double>& a, std::uint64_t seed) {
+  Xoshiro256pp g(seed);
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      a(i, j) = static_cast<double>(static_cast<std::int64_t>(g.next())) *
+                (1.0 / 9223372036854775808.0);
+    }
+  }
+}
+
+TEST(DenseMatrix, ColumnsAlignedAndZeroInitialized) {
+  DenseMatrix<float> a(33, 5);
+  EXPECT_EQ(a.rows(), 33);
+  EXPECT_EQ(a.cols(), 5);
+  EXPECT_GE(a.ld(), 33);
+  EXPECT_EQ(a.ld() % (64 / static_cast<index_t>(sizeof(float))), 0);
+  for (index_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.col(j)) % 64, 0u);
+    for (index_t i = 0; i < 33; ++i) EXPECT_EQ(a(i, j), 0.0f);
+  }
+}
+
+TEST(DenseMatrix, ElementAccess) {
+  DenseMatrix<double> a(4, 3);
+  a(2, 1) = 5.5;
+  EXPECT_DOUBLE_EQ(a(2, 1), 5.5);
+  EXPECT_DOUBLE_EQ(a.col(1)[2], 5.5);
+}
+
+TEST(DenseMatrix, FrobeniusAndDiff) {
+  DenseMatrix<double> a(2, 2), b(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+  b(0, 0) = 3.0;
+  b(1, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 1.0);
+  DenseMatrix<double> c(3, 2);
+  EXPECT_THROW(a.max_abs_diff(c), invalid_argument_error);
+}
+
+TEST(DenseMatrix, NegativeDimensionThrows) {
+  EXPECT_THROW(DenseMatrix<double>(-1, 2), invalid_argument_error);
+}
+
+TEST(Blas1, AxpyDotNrm2Scal) {
+  const index_t n = 1000;
+  std::vector<double> x(n), y(n);
+  for (index_t i = 0; i < n; ++i) {
+    x[i] = 0.001 * i;
+    y[i] = 1.0;
+  }
+  axpy(n, 2.0, x.data(), y.data());
+  EXPECT_DOUBLE_EQ(y[500], 1.0 + 2.0 * 0.5);
+
+  const double d = dot(n, x.data(), x.data());
+  double ref = 0.0;
+  for (index_t i = 0; i < n; ++i) ref += x[i] * x[i];
+  EXPECT_NEAR(d, ref, 1e-9);
+
+  EXPECT_NEAR(nrm2(n, x.data()), std::sqrt(ref), 1e-9);
+
+  scal(n, 0.5, y.data());
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+}
+
+TEST(Blas1, ZeroLength) {
+  axpy<double>(0, 1.0, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(dot<double>(0, nullptr, nullptr), 0.0);
+  EXPECT_DOUBLE_EQ(nrm2<double>(0, nullptr), 0.0);
+}
+
+class GemmShapes : public ::testing::TestWithParam<
+                       std::tuple<index_t, index_t, index_t, bool, bool>> {};
+
+TEST_P(GemmShapes, MatchesNaiveTripleLoop) {
+  const auto [m, n, k, ta, tb] = GetParam();
+  DenseMatrix<double> a(ta ? k : m, ta ? m : k);
+  DenseMatrix<double> b(tb ? n : k, tb ? k : n);
+  fill_random(a, 1);
+  fill_random(b, 2);
+  DenseMatrix<double> c(m, n);
+  fill_random(c, 3);
+  DenseMatrix<double> c_ref(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) c_ref(i, j) = c(i, j);
+  }
+
+  const double alpha = 1.5, beta = -0.5;
+  gemm(ta, tb, alpha, a, b, beta, c);
+
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (index_t p = 0; p < k; ++p) {
+        const double av = ta ? a(p, i) : a(i, p);
+        const double bv = tb ? b(j, p) : b(p, j);
+        s += av * bv;
+      }
+      EXPECT_NEAR(c(i, j), beta * c_ref(i, j) + alpha * s, 1e-10)
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(
+        std::make_tuple<index_t, index_t, index_t, bool, bool>(1, 1, 1, false,
+                                                               false),
+        std::make_tuple<index_t, index_t, index_t, bool, bool>(17, 13, 9,
+                                                               false, false),
+        std::make_tuple<index_t, index_t, index_t, bool, bool>(17, 13, 9, true,
+                                                               false),
+        std::make_tuple<index_t, index_t, index_t, bool, bool>(17, 13, 9,
+                                                               false, true),
+        std::make_tuple<index_t, index_t, index_t, bool, bool>(17, 13, 9, true,
+                                                               true),
+        std::make_tuple<index_t, index_t, index_t, bool, bool>(150, 140, 130,
+                                                               false, false),
+        std::make_tuple<index_t, index_t, index_t, bool, bool>(150, 140, 130,
+                                                               true, false)));
+
+TEST(Gemm, DimensionMismatchThrows) {
+  DenseMatrix<double> a(3, 4), b(5, 2), c(3, 2);
+  EXPECT_THROW(gemm(false, false, 1.0, a, b, 0.0, c), invalid_argument_error);
+  DenseMatrix<double> b2(4, 2), c2(2, 2);
+  EXPECT_THROW(gemm(false, false, 1.0, a, b2, 0.0, c2),
+               invalid_argument_error);
+}
+
+TEST(Gemm, AlphaZeroOnlyScalesC) {
+  DenseMatrix<double> a(3, 3), b(3, 3), c(3, 3);
+  fill_random(a, 4);
+  fill_random(b, 5);
+  c(1, 1) = 2.0;
+  gemm(false, false, 0.0, a, b, 3.0, c);
+  EXPECT_DOUBLE_EQ(c(1, 1), 6.0);
+  EXPECT_DOUBLE_EQ(c(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace rsketch

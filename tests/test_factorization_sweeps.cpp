@@ -1,0 +1,133 @@
+// Parameterized shape sweeps for the dense factorizations: QR and SVD over
+// a grid of aspect ratios, and LSQR consistency against QR across shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "dense/blas1.hpp"
+#include "rng/distributions.hpp"
+#include "solvers/lsqr.hpp"
+#include "solvers/qr.hpp"
+#include "solvers/svd.hpp"
+
+namespace rsketch {
+namespace {
+
+DenseMatrix<double> random_dense(index_t m, index_t n, std::uint64_t seed) {
+  SketchSampler<double> s(seed, Dist::Uniform, RngBackend::Xoshiro);
+  DenseMatrix<double> a(m, n);
+  for (index_t j = 0; j < n; ++j) s.fill(0, j, a.col(j), m);
+  return a;
+}
+
+DenseMatrix<double> copy_of(const DenseMatrix<double>& a) {
+  DenseMatrix<double> c(a.rows(), a.cols());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) c(i, j) = a(i, j);
+  }
+  return c;
+}
+
+using Shape = std::tuple<index_t, index_t>;
+
+class FactorizationShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(FactorizationShapes, QrResidualAndOrthogonality) {
+  const auto [m, n] = GetParam();
+  const auto a = random_dense(m, n, m * 131 + n);
+  QrFactor<double> f = qr_factorize(copy_of(a));
+
+  // Reconstruction residual per column.
+  double worst = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+    for (index_t i = 0; i <= j; ++i) y[static_cast<std::size_t>(i)] = f.qr(i, j);
+    apply_q(f, y.data());
+    for (index_t i = 0; i < m; ++i) {
+      worst = std::max(worst, std::fabs(y[static_cast<std::size_t>(i)] - a(i, j)));
+    }
+  }
+  EXPECT_LT(worst, 1e-10 * std::sqrt(static_cast<double>(m)));
+
+  // Q preserves norms.
+  std::vector<double> e(static_cast<std::size_t>(m), 0.0);
+  e[0] = 1.0;
+  apply_q(f, e.data());
+  EXPECT_NEAR(nrm2(m, e.data()), 1.0, 1e-12);
+}
+
+TEST_P(FactorizationShapes, SvdInvariantsHold) {
+  const auto [m, n] = GetParam();
+  const auto a = random_dense(m, n, m * 17 + n);
+  const double fro = a.frobenius_norm();
+  const auto svd = jacobi_svd(copy_of(a));
+
+  double s2 = 0.0;
+  for (std::size_t t = 0; t < svd.sigma.size(); ++t) {
+    if (t > 0) EXPECT_GE(svd.sigma[t - 1], svd.sigma[t]);
+    EXPECT_GE(svd.sigma[t], 0.0);
+    s2 += static_cast<double>(svd.sigma[t]) * svd.sigma[t];
+  }
+  EXPECT_NEAR(std::sqrt(s2), fro, 1e-9 * (fro + 1.0));
+
+  // V columns orthonormal.
+  for (index_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(nrm2(n, svd.v.col(j)), 1.0, 1e-9);
+    if (j > 0) {
+      EXPECT_NEAR(dot(n, svd.v.col(j), svd.v.col(j - 1)), 0.0, 1e-8);
+    }
+  }
+}
+
+TEST_P(FactorizationShapes, LsqrMatchesQrLeastSquares) {
+  const auto [m, n] = GetParam();
+  const auto a = random_dense(m, n, m + 7 * n);
+  SketchSampler<double> g(5, Dist::Uniform, RngBackend::Xoshiro);
+  std::vector<double> b(static_cast<std::size_t>(m));
+  g.fill(0, 4242, b.data(), m);
+
+  QrFactor<double> f = qr_factorize(copy_of(a));
+  const auto x_qr = qr_least_squares(f, b.data());
+
+  LinearOperator<double> op;
+  op.rows = m;
+  op.cols = n;
+  op.apply = [&a, m, n](const double* x, double* y) {
+    for (index_t i = 0; i < m; ++i) y[i] = 0.0;
+    for (index_t j = 0; j < n; ++j) axpy(m, x[j], a.col(j), y);
+  };
+  op.apply_adjoint = [&a, n](const double* x, double* y) {
+    for (index_t j = 0; j < n; ++j) y[j] = dot(a.rows(), a.col(j), x);
+  };
+  LsqrOptions lo;
+  lo.tol = 1e-14;
+  lo.max_iter = 20000;
+  const auto res = lsqr(op, b.data(), lo);
+
+  for (index_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(res.x[static_cast<std::size_t>(j)],
+                x_qr[static_cast<std::size_t>(j)],
+                1e-7 * (std::fabs(x_qr[static_cast<std::size_t>(j)]) + 1.0))
+        << "shape " << m << "x" << n << " j=" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FactorizationShapes,
+    ::testing::Values(std::make_tuple<index_t, index_t>(1, 1),
+                      std::make_tuple<index_t, index_t>(5, 1),
+                      std::make_tuple<index_t, index_t>(8, 8),
+                      std::make_tuple<index_t, index_t>(33, 7),
+                      std::make_tuple<index_t, index_t>(64, 64),
+                      std::make_tuple<index_t, index_t>(120, 40),
+                      std::make_tuple<index_t, index_t>(257, 31),
+                      std::make_tuple<index_t, index_t>(500, 3)),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return std::to_string(std::get<0>(info.param)) + "x" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace rsketch

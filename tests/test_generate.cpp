@@ -1,0 +1,167 @@
+// Tests for the synthetic sparse generators, including the Table VI
+// Abnormal patterns and the conditioning-profile constructions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/generate.hpp"
+#include "sparse/ops.hpp"
+
+namespace rsketch {
+namespace {
+
+TEST(RandomSparse, DensityApproximatelyMatches) {
+  const index_t m = 2000, n = 500;
+  const double rho = 0.01;
+  const auto a = random_sparse<double>(m, n, rho, 1);
+  a.validate();
+  const double got = a.density();
+  EXPECT_NEAR(got, rho, 4.0 * std::sqrt(rho / (m * n)) + 0.002);
+}
+
+TEST(RandomSparse, Deterministic) {
+  const auto a = random_sparse<double>(100, 50, 0.05, 42);
+  const auto b = random_sparse<double>(100, 50, 0.05, 42);
+  EXPECT_EQ(a.row_idx(), b.row_idx());
+  EXPECT_EQ(a.values(), b.values());
+  const auto c = random_sparse<double>(100, 50, 0.05, 43);
+  EXPECT_NE(a.row_idx(), c.row_idx());
+}
+
+TEST(RandomSparse, ExtremeDensities) {
+  const auto empty = random_sparse<double>(50, 20, 0.0, 1);
+  EXPECT_EQ(empty.nnz(), 0);
+  const auto full = random_sparse<double>(30, 10, 1.0, 1);
+  EXPECT_EQ(full.nnz(), 300);
+  full.validate();
+}
+
+TEST(RandomSparse, ValuesInRange) {
+  const auto a = random_sparse<double>(200, 100, 0.05, 5);
+  for (double v : a.values()) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(RandomSparse, InvalidArgsThrow) {
+  EXPECT_THROW(random_sparse<double>(10, 10, -0.1, 1), invalid_argument_error);
+  EXPECT_THROW(random_sparse<double>(10, 10, 1.5, 1), invalid_argument_error);
+}
+
+TEST(FixedNnzPerCol, ExactCounts) {
+  const auto a = fixed_nnz_per_col<double>(100, 40, 7, 3);
+  a.validate();
+  EXPECT_EQ(a.nnz(), 280);
+  for (index_t j = 0; j < 40; ++j) EXPECT_EQ(a.col_nnz(j), 7);
+}
+
+TEST(FixedNnzPerCol, DenseRegime) {
+  // k close to m exercises the sweep-sampling branch.
+  const auto a = fixed_nnz_per_col<double>(10, 5, 9, 3);
+  a.validate();
+  for (index_t j = 0; j < 5; ++j) EXPECT_EQ(a.col_nnz(j), 9);
+}
+
+TEST(FixedNnzPerCol, KEqualsM) {
+  const auto a = fixed_nnz_per_col<double>(8, 3, 8, 3);
+  EXPECT_EQ(a.nnz(), 24);
+  for (index_t j = 0; j < 3; ++j) {
+    for (index_t i = 0; i < 8; ++i) EXPECT_NE(a.at(i, j), 0.0);
+  }
+}
+
+TEST(FixedNnzPerCol, InvalidKThrows) {
+  EXPECT_THROW(fixed_nnz_per_col<double>(5, 2, 6, 1), invalid_argument_error);
+  EXPECT_THROW(fixed_nnz_per_col<double>(5, 2, -1, 1), invalid_argument_error);
+}
+
+TEST(BandedSparse, EntriesWithinBand) {
+  const index_t m = 500, n = 100, band = 30;
+  const auto a = banded_sparse<double>(m, n, band, 0.02, 9);
+  a.validate();
+  for (index_t j = 0; j < n; ++j) {
+    const index_t center = static_cast<index_t>(
+        (static_cast<double>(j) / (n - 1)) * (m - 1));
+    for (index_t p = a.col_ptr()[j]; p < a.col_ptr()[j + 1]; ++p) {
+      EXPECT_LE(std::abs(a.row_idx()[p] - center), band);
+    }
+  }
+}
+
+TEST(AbnormalA, DenseRowsAtStride) {
+  const index_t m = 100, n = 20, stride = 10;
+  const auto a = abnormal_a<double>(m, n, stride, 4);
+  a.validate();
+  EXPECT_EQ(a.nnz(), (m / stride) * n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = a.col_ptr()[j]; p < a.col_ptr()[j + 1]; ++p) {
+      EXPECT_EQ(a.row_idx()[p] % stride, 0);
+    }
+  }
+}
+
+TEST(AbnormalB, MassConcentratedInMiddleThird) {
+  const index_t m = 1000, n = 300;
+  const double rho = 1e-2, conc = 2998.0 / 3000.0;
+  const auto a = abnormal_b<double>(m, n, rho, conc, 4);
+  a.validate();
+  index_t mid = 0;
+  for (index_t j = n / 3; j < 2 * n / 3; ++j) mid += a.col_nnz(j);
+  EXPECT_GT(static_cast<double>(mid) / a.nnz(), 0.95);
+}
+
+TEST(AbnormalC, DenseColumnsAtStride) {
+  const index_t m = 60, n = 50, stride = 10;
+  const auto a = abnormal_c<double>(m, n, stride, 4);
+  a.validate();
+  for (index_t j = 0; j < n; ++j) {
+    if (j % stride == 0) {
+      EXPECT_EQ(a.col_nnz(j), m);
+    } else {
+      EXPECT_EQ(a.col_nnz(j), 0);
+    }
+  }
+}
+
+TEST(ScaleColumnsLogUniform, ProducesWideNormSpread) {
+  const auto base = random_sparse<double>(400, 60, 0.1, 8);
+  const auto scaled = scale_columns_log_uniform(base, -6.0, 6.0, 9);
+  EXPECT_EQ(scaled.nnz(), base.nnz());
+  const auto norms = column_norms(scaled);
+  double lo = 1e300, hi = 0.0;
+  for (double v : norms) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi / lo, 1e6);  // spread spans many orders of magnitude
+}
+
+TEST(AppendNearDuplicateCols, AddsNearlyParallelColumns) {
+  const auto base = random_sparse<double>(300, 20, 0.1, 8);
+  const auto aug = append_near_duplicate_cols(base, 5, 1e-12, 9);
+  EXPECT_EQ(aug.cols(), 25);
+  EXPECT_EQ(aug.rows(), 300);
+  aug.validate();
+  // Each appended column must be numerically parallel to some base column:
+  // check its normalized inner product with the best base match.
+  for (index_t dcol = 20; dcol < 25; ++dcol) {
+    double best = 0.0;
+    for (index_t j = 0; j < 20; ++j) {
+      double dot = 0.0, na = 0.0, nb = 0.0;
+      for (index_t i = 0; i < 300; ++i) {
+        const double x = aug.at(i, dcol), y = aug.at(i, j);
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+      }
+      if (na > 0 && nb > 0) {
+        best = std::max(best, std::fabs(dot) / std::sqrt(na * nb));
+      }
+    }
+    EXPECT_GT(best, 1.0 - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rsketch

@@ -1,0 +1,106 @@
+// Least-squares utilities: error metric, diagonal scaling, rhs construction,
+// condition estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solvers/least_squares.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/ops.hpp"
+
+namespace rsketch {
+namespace {
+
+TEST(ErrorMetric, ZeroAtExactSolution) {
+  // Integer-valued data keeps every FP operation exact, so the recomputed
+  // residual is exactly zero and the metric returns its defined value 0.
+  auto a = random_sparse<double>(40, 10, 0.3, 1);
+  for (auto& v : a.values()) v = v > 0 ? 1.0 : -1.0;
+  std::vector<double> x(10);
+  for (index_t j = 0; j < 10; ++j) x[j] = static_cast<double>(j - 4);
+  std::vector<double> b(40, 0.0);
+  spmv(a, x.data(), b.data());
+  EXPECT_DOUBLE_EQ(ls_error_metric(a, x, b), 0.0);
+}
+
+TEST(ErrorMetric, PositiveAwayFromOptimum) {
+  const auto a = random_sparse<double>(40, 10, 0.3, 2);
+  const auto b = make_least_squares_rhs(a, 3);
+  std::vector<double> x(10, 0.0);  // not the minimizer
+  EXPECT_GT(ls_error_metric(a, x, b), 1e-6);
+}
+
+TEST(ErrorMetric, DimensionMismatchThrows) {
+  const auto a = random_sparse<double>(40, 10, 0.3, 4);
+  std::vector<double> x(9, 0.0), b(40, 1.0);
+  EXPECT_THROW(ls_error_metric(a, x, b), invalid_argument_error);
+}
+
+TEST(DiagScales, InverseColumnNorms) {
+  const auto a = random_sparse<double>(60, 8, 0.4, 5);
+  const auto scales = diag_precond_scales(a);
+  const auto norms = column_norms(a);
+  for (index_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(scales[j], 1.0 / norms[j], 1e-12);
+  }
+}
+
+TEST(DiagScales, NegligibleColumnGetsUnitScale) {
+  // One column with a single tiny entry far below the epsilon cutoff.
+  CooMatrix<double> coo(10, 2);
+  coo.push(0, 0, 1.0);
+  coo.push(1, 0, 2.0);
+  coo.push(5, 1, 1e-300);
+  const auto a = coo_to_csc(coo);
+  const auto scales = diag_precond_scales(a);
+  EXPECT_DOUBLE_EQ(scales[1], 1.0);
+}
+
+TEST(MakeRhs, HasRangeAndNoiseComponents) {
+  const auto a = random_sparse<double>(200, 12, 0.2, 6);
+  const auto b = make_least_squares_rhs(a, 7);
+  ASSERT_EQ(static_cast<index_t>(b.size()), 200);
+  double norm = 0.0;
+  for (double v : b) norm += v * v;
+  EXPECT_GT(norm, 0.0);
+  // Deterministic per seed.
+  const auto b2 = make_least_squares_rhs(a, 7);
+  EXPECT_EQ(b, b2);
+  const auto b3 = make_least_squares_rhs(a, 8);
+  EXPECT_NE(b, b3);
+}
+
+TEST(CondEstimate, DiagonalMatrixExact) {
+  CooMatrix<double> coo(5, 3);
+  coo.push(0, 0, 10.0);
+  coo.push(1, 1, 2.0);
+  coo.push(2, 2, 0.5);
+  const auto a = coo_to_csc(coo);
+  EXPECT_NEAR(cond_estimate(a), 20.0, 1e-9);
+}
+
+TEST(CondEstimate, ScalingFixesArtificialIllConditioning) {
+  auto base = random_sparse<double>(300, 15, 0.3, 8);
+  const auto bad = scale_columns_log_uniform(base, -6.0, 6.0, 9);
+  const double cond_raw = cond_estimate(bad);
+  const double cond_scaled = cond_estimate(bad, diag_precond_scales(bad));
+  EXPECT_GT(cond_raw, 1e6);
+  EXPECT_LT(cond_scaled, 1e4);
+  EXPECT_LT(cond_scaled, cond_raw / 100.0);
+}
+
+TEST(CscOperator, AppliesMatrixAndAdjoint) {
+  const auto a = random_sparse<double>(25, 10, 0.3, 10);
+  const auto op = csc_operator(a);
+  EXPECT_EQ(op.rows, 25);
+  EXPECT_EQ(op.cols, 10);
+  std::vector<double> x(10, 1.0), y(25, 0.0), ref(25, 0.0);
+  op.apply(x.data(), y.data());
+  spmv(a, x.data(), ref.data());
+  EXPECT_EQ(y, ref);
+}
+
+}  // namespace
+}  // namespace rsketch

@@ -1,0 +1,127 @@
+// LSQR iterative solver: consistency with direct solutions, stopping
+// behaviour, preconditioning effect, and degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "solvers/least_squares.hpp"
+#include "solvers/lsqr.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/ops.hpp"
+
+namespace rsketch {
+namespace {
+
+TEST(Lsqr, SolvesConsistentSystem) {
+  const auto a = random_sparse<double>(60, 20, 0.3, 1);
+  std::vector<double> x_true(20);
+  for (index_t j = 0; j < 20; ++j) x_true[j] = 0.5 * j - 4.0;
+  std::vector<double> b(60, 0.0);
+  spmv(a, x_true.data(), b.data());
+
+  const auto op = csc_operator(a);
+  LsqrOptions opt;
+  opt.tol = 1e-14;
+  const auto res = lsqr(op, b.data(), opt);
+  EXPECT_TRUE(res.converged);
+  for (index_t j = 0; j < 20; ++j) {
+    EXPECT_NEAR(res.x[j], x_true[j], 1e-6) << "j=" << j;
+  }
+}
+
+TEST(Lsqr, LeastSquaresOptimality) {
+  const auto a = random_sparse<double>(100, 15, 0.25, 2);
+  const auto b = make_least_squares_rhs(a, 77);
+  const auto op = csc_operator(a);
+  LsqrOptions opt;
+  opt.tol = 1e-14;
+  opt.max_iter = 3000;
+  const auto res = lsqr(op, b.data(), opt);
+  // The paper's error metric at the solution must be tiny.
+  EXPECT_LT(ls_error_metric(a, res.x, b), 1e-10);
+}
+
+TEST(Lsqr, ZeroRhsGivesZeroSolution) {
+  const auto a = random_sparse<double>(30, 10, 0.3, 3);
+  std::vector<double> b(30, 0.0);
+  const auto op = csc_operator(a);
+  const auto res = lsqr(op, b.data());
+  EXPECT_TRUE(res.converged);
+  for (double v : res.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Lsqr, RhsOrthogonalToRange) {
+  // A has only row 0 nonzero per column; b supported on other rows ⟂ range.
+  CscMatrix<double> a(4, 2, {0, 1, 2}, {0, 0}, {1.0, 2.0});
+  std::vector<double> b = {0.0, 1.0, 1.0, 1.0};
+  const auto op = csc_operator(a);
+  const auto res = lsqr(op, b.data());
+  EXPECT_TRUE(res.converged);
+  for (double v : res.x) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Lsqr, MissingCallbacksThrow) {
+  LinearOperator<double> op;
+  op.rows = 2;
+  op.cols = 2;
+  std::vector<double> b = {1.0, 1.0};
+  EXPECT_THROW(lsqr(op, b.data()), invalid_argument_error);
+}
+
+TEST(Lsqr, MaxIterCapsWork) {
+  const auto a = random_sparse<double>(200, 50, 0.05, 4);
+  const auto b = make_least_squares_rhs(a, 5);
+  const auto op = csc_operator(a);
+  LsqrOptions opt;
+  opt.tol = 1e-30;  // unreachable
+  opt.max_iter = 7;
+  const auto res = lsqr(op, b.data(), opt);
+  EXPECT_EQ(res.iterations, 7);
+  EXPECT_FALSE(res.converged);
+}
+
+TEST(Lsqr, DiagPreconditionerReducesIterations) {
+  // Badly column-scaled matrix: plain LSQR needs many iterations, LSQR-D few.
+  auto base = random_sparse<double>(300, 30, 0.2, 6);
+  const auto a = scale_columns_log_uniform(base, -4.0, 4.0, 7);
+  const auto b = make_least_squares_rhs(a, 8);
+
+  const auto op = csc_operator(a);
+  LsqrOptions opt;
+  opt.tol = 1e-12;
+  opt.max_iter = 5000;
+  const auto plain = lsqr(op, b.data(), opt);
+  const auto precond = lsqr_diag_precond(a, b, opt);
+
+  EXPECT_LT(precond.iterations, plain.iterations);
+  EXPECT_LT(ls_error_metric(a, precond.x, b), 1e-8);
+}
+
+TEST(LsqrDiag, MatchesUnpreconditionedSolution) {
+  const auto a = random_sparse<double>(80, 12, 0.3, 9);
+  const auto b = make_least_squares_rhs(a, 10);
+  LsqrOptions opt;
+  opt.tol = 1e-14;
+  opt.max_iter = 2000;
+  const auto d = lsqr_diag_precond(a, b, opt);
+  const auto op = csc_operator(a);
+  const auto plain = lsqr(op, b.data(), opt);
+  for (index_t j = 0; j < 12; ++j) {
+    EXPECT_NEAR(d.x[j], plain.x[j], 1e-6 * (std::fabs(plain.x[j]) + 1.0));
+  }
+}
+
+TEST(Lsqr, EmptyOperator) {
+  LinearOperator<double> op;
+  op.rows = 0;
+  op.cols = 0;
+  op.apply = [](const double*, double*) {};
+  op.apply_adjoint = [](const double*, double*) {};
+  const auto res = lsqr<double>(op, nullptr);
+  EXPECT_TRUE(res.converged);
+  EXPECT_TRUE(res.x.empty());
+}
+
+}  // namespace
+}  // namespace rsketch

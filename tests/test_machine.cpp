@@ -1,0 +1,92 @@
+// Machine probes and the model-driven autotuner.
+#include <gtest/gtest.h>
+
+#include "analysis/machine.hpp"
+#include "sketch/autotune.hpp"
+#include "sparse/generate.hpp"
+
+namespace rsketch {
+namespace {
+
+TEST(Stream, ReportsPositiveBandwidth) {
+  const auto r = stream_benchmark(1 << 18, 2);
+  EXPECT_GT(r.copy_gbps, 0.0);
+  EXPECT_GT(r.scale_gbps, 0.0);
+  EXPECT_GT(r.add_gbps, 0.0);
+  EXPECT_GT(r.triad_gbps, 0.0);
+}
+
+TEST(Stream, InvalidArgsThrow) {
+  EXPECT_THROW(stream_benchmark(0, 1), invalid_argument_error);
+  EXPECT_THROW(stream_benchmark(100, 0), invalid_argument_error);
+}
+
+TEST(RngThroughput, PositiveAndOrderedByCost) {
+  const double pm1 =
+      rng_throughput(Dist::PmOne, RngBackend::XoshiroBatch, 10000, 20);
+  const double gauss =
+      rng_throughput(Dist::Gaussian, RngBackend::XoshiroBatch, 10000, 20);
+  EXPECT_GT(pm1, 0.0);
+  EXPECT_GT(gauss, 0.0);
+  // ±1 extraction is far cheaper than Box–Muller.
+  EXPECT_GT(pm1, gauss);
+}
+
+TEST(RngThroughput, InvalidArgsThrow) {
+  EXPECT_THROW(rng_throughput(Dist::Uniform, RngBackend::Xoshiro, 0, 1),
+               invalid_argument_error);
+}
+
+TEST(MeasureH, PositiveAndGaussianCostsMore) {
+  const auto stream = stream_benchmark(1 << 18, 2);
+  const double h_pm1 = measure_h(Dist::PmOne, RngBackend::XoshiroBatch, stream);
+  const double h_gauss =
+      measure_h(Dist::Gaussian, RngBackend::XoshiroBatch, stream);
+  EXPECT_GT(h_pm1, 0.0);
+  EXPECT_GT(h_gauss, h_pm1);
+}
+
+TEST(CacheDetect, ReturnsPlausibleSize) {
+  const std::size_t bytes = detect_cache_bytes();
+  EXPECT_GE(bytes, std::size_t{16} << 10);   // ≥ 16 KiB
+  EXPECT_LE(bytes, std::size_t{1} << 31);    // ≤ 2 GiB
+}
+
+TEST(SuggestBlocks, ProducesValidBlocks) {
+  const auto s = suggest_blocks(100000, 10000, 30000, 1e-3, 1 << 20, 0.1, 4);
+  EXPECT_GE(s.block_d, 1);
+  EXPECT_LE(s.block_d, 30000);
+  EXPECT_GE(s.block_n, 1);
+  EXPECT_LE(s.block_n, 10000);
+  EXPECT_GT(s.model_ci, 0.0);
+}
+
+TEST(SuggestBlocks, CheapRngPrefersNarrowColumns) {
+  // Small h pushes n₁ toward 1 (regenerate instead of reuse); large h pushes
+  // n₁ up (amortize generation over wider blocks).
+  const auto cheap = suggest_blocks(100000, 10000, 30000, 0.05, 1 << 20, 0.001, 4);
+  const auto costly = suggest_blocks(100000, 10000, 30000, 0.05, 1 << 20, 0.9, 4);
+  EXPECT_LE(cheap.block_n, costly.block_n);
+}
+
+TEST(SuggestBlocks, InvalidArgsThrow) {
+  EXPECT_THROW(suggest_blocks(10, 0, 5, 0.1, 1024, 0.1, 4),
+               invalid_argument_error);
+  EXPECT_THROW(suggest_blocks(10, 5, 5, 0.1, 1024, 0.1, 0),
+               invalid_argument_error);
+}
+
+TEST(AutotuneBlocks, FillsConfig) {
+  const auto a = random_sparse<float>(2000, 400, 0.01, 1);
+  SketchConfig cfg;
+  cfg.d = 1200;
+  cfg.block_d = 0;  // will be overwritten
+  cfg.block_n = 0;
+  autotune_blocks(cfg, a);
+  EXPECT_GE(cfg.block_d, 1);
+  EXPECT_GE(cfg.block_n, 1);
+  EXPECT_LE(cfg.block_n, 400);
+}
+
+}  // namespace
+}  // namespace rsketch

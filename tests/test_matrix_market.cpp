@@ -1,0 +1,127 @@
+// Matrix Market I/O: round trips, symmetry/pattern handling, and failure
+// injection on malformed inputs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/generate.hpp"
+#include "sparse/matrix_market.hpp"
+
+namespace rsketch {
+namespace {
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const auto a = random_sparse<double>(20, 15, 0.2, 11);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const auto b = read_matrix_market<double>(ss);
+  EXPECT_EQ(b.rows(), a.rows());
+  EXPECT_EQ(b.cols(), a.cols());
+  ASSERT_EQ(b.nnz(), a.nnz());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t p = a.col_ptr()[j]; p < a.col_ptr()[j + 1]; ++p) {
+      const index_t i = a.row_idx()[p];
+      EXPECT_NEAR(b.at(i, j), a.at(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixMarket, ParsesGeneralReal) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 2 3\n"
+      "1 1 2.5\n"
+      "3 1 -1.0\n"
+      "2 2 4\n");
+  const auto a = read_matrix_market<double>(ss);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 2);
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 4.0);
+}
+
+TEST(MatrixMarket, PatternEntriesBecomeOnes) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  const auto a = read_matrix_market<float>(ss);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(a.at(1, 1), 1.0f);
+}
+
+TEST(MatrixMarket, SymmetricMirrored) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 3 7.0\n");
+  const auto a = read_matrix_market<double>(ss);
+  EXPECT_EQ(a.nnz(), 3);  // (2,1), mirror (1,2), diagonal (3,3) once
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 7.0);
+}
+
+TEST(MatrixMarket, SkewSymmetricNegated) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  const auto a = read_matrix_market<double>(ss);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -3.0);
+}
+
+TEST(MatrixMarket, IntegerField) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "1 2 -4\n");
+  const auto a = read_matrix_market<double>(ss);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -4.0);
+}
+
+TEST(MatrixMarket, MalformedInputsThrow) {
+  auto parse = [](const std::string& text) {
+    std::stringstream ss(text);
+    return read_matrix_market<double>(ss);
+  };
+  EXPECT_THROW(parse(""), io_error);
+  EXPECT_THROW(parse("not a banner\n1 1 0\n"), io_error);
+  EXPECT_THROW(parse("%%MatrixMarket matrix array real general\n1 1\n1.0\n"),
+               io_error);
+  EXPECT_THROW(
+      parse("%%MatrixMarket matrix coordinate complex general\n1 1 0\n"),
+      io_error);
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n"),
+               io_error);  // missing size line
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\nx y z\n"),
+               io_error);  // malformed size line
+  EXPECT_THROW(
+      parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n"),
+      io_error);  // missing entry
+  EXPECT_THROW(
+      parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"),
+      io_error);  // out-of-range index
+  EXPECT_THROW(
+      parse("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n"),
+      io_error);  // missing value for real field
+}
+
+TEST(MatrixMarket, FileRoundTripAndMissingFile) {
+  const auto a = random_sparse<double>(10, 10, 0.3, 3);
+  const std::string path = ::testing::TempDir() + "/rsketch_test.mtx";
+  write_matrix_market_file(path, a);
+  const auto b = read_matrix_market_file<double>(path);
+  EXPECT_EQ(b.nnz(), a.nnz());
+  EXPECT_THROW(read_matrix_market_file<double>("/nonexistent/nope.mtx"),
+               io_error);
+}
+
+}  // namespace
+}  // namespace rsketch

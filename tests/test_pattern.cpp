@@ -1,0 +1,110 @@
+// Pattern-aware §III-A model extension (the paper's future-work item).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/pattern.hpp"
+#include "sparse/generate.hpp"
+
+namespace rsketch {
+namespace {
+
+RooflineParams params(double m, double h, double rho) {
+  RooflineParams p;
+  p.cache_elems = m;
+  p.rng_cost = h;
+  p.density = rho;
+  p.machine_balance = 40.0;
+  return p;
+}
+
+TEST(PatternModel, HistogramCountsRows) {
+  // 3 dense rows out of 30 (stride 10).
+  const auto a = abnormal_a<double>(30, 8, 10, 1);
+  const auto hist = row_degree_histogram(a);
+  EXPECT_EQ(hist[0], 27);  // empty rows
+  EXPECT_EQ(hist[8], 3);   // fully dense rows
+}
+
+TEST(PatternModel, UniformMatrixMatchesClosedForm) {
+  const double rho = 0.02;
+  const auto a = random_sparse<double>(4000, 500, rho, 2);
+  for (double n1 : {1.0, 10.0, 50.0}) {
+    const double empirical = expected_regen_fraction(a, n1);
+    const double model = 1.0 - std::pow(1.0 - rho, n1);
+    EXPECT_NEAR(empirical, model, 0.15 * model + 0.01) << "n1=" << n1;
+  }
+}
+
+TEST(PatternModel, DenseRowsRegenFractionIndependentOfN1) {
+  // Abnormal_A: the nonempty rows are fully dense, so they are regenerated
+  // for ANY block width; the fraction is constant = dense-row share.
+  const auto a = abnormal_a<double>(1000, 100, 10, 3);
+  const double share = 0.1;
+  for (double n1 : {1.0, 5.0, 50.0}) {
+    EXPECT_NEAR(expected_regen_fraction(a, n1), share, 1e-9);
+  }
+}
+
+TEST(PatternModel, DenseColumnsBehaveLikeUniformRows) {
+  // Abnormal_C: every row has k = (#dense cols) entries spread uniformly.
+  const auto a = abnormal_c<double>(200, 100, 10, 4);
+  const double ki = 10.0 / 100.0;  // 10 dense columns
+  for (double n1 : {1.0, 20.0}) {
+    const double expect = 1.0 - std::pow(1.0 - ki, n1);
+    EXPECT_NEAR(expected_regen_fraction(a, n1), expect, 1e-9);
+  }
+}
+
+TEST(PatternModel, RegenFractionMonotoneInN1) {
+  const auto a = random_sparse<double>(500, 200, 0.05, 5);
+  double prev = 0.0;
+  for (double n1 = 1.0; n1 <= 128.0; n1 *= 2.0) {
+    const double f = expected_regen_fraction(a, n1);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_LE(prev, 1.0);
+}
+
+TEST(PatternModel, DenseRowPatternBeatsUniformModelPrediction) {
+  // Abnormal_A's regeneration fraction stays at the dense-row share for any
+  // n1, while the uniform model's 1-(1-rho)^{n1} saturates at 1 — so the
+  // pattern-aware optimum achieves a strictly better (smaller) reciprocal
+  // CI than the uniform model's own optimum evaluated on the true pattern.
+  const auto dense_rows = abnormal_a<double>(2000, 200, 10, 6);
+  const auto p = params(1e5, 0.5, dense_rows.density());
+  const double n1_pattern = optimal_n1_for_matrix(dense_rows, p);
+  const double n1_uniform = optimal_n1(p, 200.0);
+  // True cost at the pattern-aware optimum <= true cost at the uniform pick.
+  EXPECT_LE(inverse_ci_pattern(dense_rows, p, n1_pattern),
+            inverse_ci_pattern(dense_rows, p, n1_uniform) + 1e-15);
+  // And the uniform model OVERESTIMATES the cost of this pattern.
+  EXPECT_LT(inverse_ci_pattern(dense_rows, p, n1_pattern),
+            inverse_ci(p, n1_uniform));
+}
+
+TEST(PatternModel, UniformMatrixOptimumMatchesUniformModel) {
+  const auto a = random_sparse<double>(3000, 300, 0.01, 7);
+  const auto p = params(1e5, 0.3, 0.01);
+  const double n1_pattern = optimal_n1_for_matrix(a, p);
+  const double n1_uniform = optimal_n1(p, 300.0);
+  // The empirical optimum should be in the same ballpark (within ~3x).
+  EXPECT_LT(std::fabs(std::log(n1_pattern / n1_uniform)), std::log(3.0));
+}
+
+TEST(PatternModel, InverseCiPatternReciprocalSanity) {
+  const auto a = random_sparse<double>(1000, 100, 0.02, 8);
+  const auto p = params(1e5, 0.2, 0.02);
+  for (double n1 : {1.0, 8.0, 64.0}) {
+    EXPECT_GT(inverse_ci_pattern(a, p, n1), 0.0);
+  }
+}
+
+TEST(PatternModel, EmptyMatrixSafe) {
+  CscMatrix<double> a(0, 0);
+  EXPECT_EQ(expected_regen_fraction(a, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace rsketch

@@ -1,0 +1,130 @@
+// Statistical properties of the sketch operator: Johnson–Lindenstrauss-style
+// norm preservation and subspace embedding distortion — the properties that
+// make Â = S·A usable inside the least-squares pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dense/blas1.hpp"
+#include "rng/distributions.hpp"
+#include "sketch/sketch.hpp"
+#include "solvers/qr.hpp"
+#include "solvers/svd.hpp"
+#include "solvers/triangular.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/ops.hpp"
+
+namespace rsketch {
+namespace {
+
+class NormPreservation : public ::testing::TestWithParam<Dist> {};
+
+TEST_P(NormPreservation, SketchedColumnNormsConcentrate) {
+  // For a normalized sketch (E[s²]·d scaling), E‖S a‖² = ‖a‖², and for
+  // d = 3n the deviation should be modest for every column.
+  const Dist dist = GetParam();
+  const auto a = random_sparse<double>(400, 40, 0.08, 21);
+  SketchConfig cfg;
+  cfg.d = 360;  // large d → tight concentration
+  cfg.dist = dist;
+  cfg.normalize = true;
+  const auto a_hat = sketch(cfg, a);
+  const auto norms = column_norms(a);
+  for (index_t j = 0; j < a.cols(); ++j) {
+    if (norms[j] == 0.0) continue;
+    const double sk = nrm2(a_hat.rows(), a_hat.col(j));
+    EXPECT_NEAR(sk / norms[j], 1.0, 0.35) << "column " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, NormPreservation,
+                         ::testing::Values(Dist::PmOne, Dist::Uniform,
+                                           Dist::UniformScaled,
+                                           Dist::Gaussian),
+                         [](const ::testing::TestParamInfo<Dist>& info) {
+                           std::string n = to_string(info.param);
+                           for (char& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(SubspaceEmbedding, SingularValuesWithinDistortionBound) {
+  // Sketch-and-precondition theory: for Â = S·A with γ = d/n = 3 and S an
+  // (approximate) isometry in expectation, the singular values of Â·R⁻¹
+  // (equivalently, of Q of A measured through S) lie in
+  // [1-ε, 1+ε] with ε ≈ 1/sqrt(γ) ≈ 0.58 — we verify a slightly looser box.
+  const index_t m = 600, n = 30;
+  const auto a = random_sparse<double>(m, n, 0.1, 33);
+  SketchConfig cfg;
+  cfg.d = 3 * n;
+  cfg.dist = Dist::PmOne;
+  cfg.normalize = true;
+  auto a_hat = sketch(cfg, a);
+
+  // Factor Â = QR, then form A·R⁻¹ densely and take its extreme singular
+  // values: they measure the preconditioned condition number the paper
+  // bounds by (sqrt(γ)+1)/(sqrt(γ)-1) ≈ 3.73 for γ = 3.
+  QrFactor<double> f = qr_factorize(std::move(a_hat));
+  DenseMatrix<double> r = extract_r(f);
+  DenseMatrix<double> apre(m, n);
+  // apre = A · R⁻¹: solve column-by-column.
+  std::vector<double> e(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[static_cast<std::size_t>(j)] = 1.0;
+    solve_upper(r, e.data());
+    spmv(a, e.data(), apre.col(j));
+  }
+  SvdResult<double> svd = jacobi_svd(std::move(apre));
+  const double smax = svd.sigma.front();
+  const double smin = svd.sigma.back();
+  ASSERT_GT(smin, 0.0);
+  const double cond = smax / smin;
+  const double gamma = 3.0;
+  const double bound = (std::sqrt(gamma) + 1.0) / (std::sqrt(gamma) - 1.0);
+  EXPECT_LT(cond, 2.0 * bound) << "preconditioned cond too large";
+}
+
+TEST(SubspaceEmbedding, PairwiseInnerProductsPreserved) {
+  // JL property on differences: ‖S(x−y)‖ ≈ ‖x−y‖ for sparse columns x, y.
+  const auto a = random_sparse<double>(500, 10, 0.15, 44);
+  SketchConfig cfg;
+  cfg.d = 450;
+  cfg.dist = Dist::Uniform;
+  cfg.normalize = true;
+  const auto a_hat = sketch(cfg, a);
+  for (index_t x = 0; x < 9; ++x) {
+    const index_t y = x + 1;
+    double orig = 0.0, sk = 0.0;
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double dv = a.at(i, x) - a.at(i, y);
+      orig += dv * dv;
+    }
+    for (index_t i = 0; i < a_hat.rows(); ++i) {
+      const double dv = a_hat(i, x) - a_hat(i, y);
+      sk += dv * dv;
+    }
+    ASSERT_GT(orig, 0.0);
+    EXPECT_NEAR(std::sqrt(sk / orig), 1.0, 0.35) << "pair " << x;
+  }
+}
+
+TEST(SketchMoments, EntriesOfSHaveUnitSecondMomentAfterNormalize) {
+  SketchConfig cfg;
+  cfg.d = 128;
+  cfg.dist = Dist::Uniform;
+  cfg.normalize = true;
+  const auto s = materialize_S<double>(cfg, 64);
+  double sum2 = 0.0;
+  for (index_t j = 0; j < 64; ++j) {
+    for (index_t i = 0; i < 128; ++i) sum2 += s(i, j) * s(i, j);
+  }
+  // After normalization each entry has variance 1/d, so the total is ≈ m.
+  EXPECT_NEAR(sum2, 64.0, 64.0 * 0.15);
+}
+
+}  // namespace
+}  // namespace rsketch

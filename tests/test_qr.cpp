@@ -1,0 +1,146 @@
+// Householder QR: orthogonality, reconstruction, and least-squares solves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dense/blas1.hpp"
+#include "dense/gemm.hpp"
+#include "rng/distributions.hpp"
+#include "solvers/qr.hpp"
+
+namespace rsketch {
+namespace {
+
+DenseMatrix<double> random_dense(index_t m, index_t n, std::uint64_t seed) {
+  SketchSampler<double> s(seed, Dist::Uniform, RngBackend::Xoshiro);
+  DenseMatrix<double> a(m, n);
+  for (index_t j = 0; j < n; ++j) s.fill(0, j, a.col(j), m);
+  return a;
+}
+
+TEST(Qr, ReconstructsA) {
+  const index_t m = 40, n = 15;
+  const auto a = random_dense(m, n, 1);
+  DenseMatrix<double> copy(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) copy(i, j) = a(i, j);
+  }
+  QrFactor<double> f = qr_factorize(std::move(copy));
+
+  // Rebuild A column by column: A e_j = Q (R e_j).
+  for (index_t j = 0; j < n; ++j) {
+    std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+    for (index_t i = 0; i <= j; ++i) y[static_cast<std::size_t>(i)] = f.qr(i, j);
+    apply_q(f, y.data());
+    for (index_t i = 0; i < m; ++i) {
+      EXPECT_NEAR(y[static_cast<std::size_t>(i)], a(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(Qr, QIsOrthonormal) {
+  const index_t m = 30, n = 12;
+  auto a = random_dense(m, n, 2);
+  QrFactor<double> f = qr_factorize(std::move(a));
+  // QᵀQ = I: push unit vectors through Q then Qᵀ.
+  for (index_t j = 0; j < m; j += 7) {
+    std::vector<double> e(static_cast<std::size_t>(m), 0.0);
+    e[static_cast<std::size_t>(j)] = 1.0;
+    apply_q(f, e.data());
+    EXPECT_NEAR(nrm2(m, e.data()), 1.0, 1e-12);
+    apply_qt(f, e.data());
+    for (index_t i = 0; i < m; ++i) {
+      EXPECT_NEAR(e[static_cast<std::size_t>(i)], i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Qr, RMatchesExtract) {
+  auto a = random_dense(25, 10, 3);
+  QrFactor<double> f = qr_factorize(std::move(a));
+  const auto r = extract_r(f);
+  EXPECT_EQ(r.rows(), 10);
+  EXPECT_EQ(r.cols(), 10);
+  for (index_t j = 0; j < 10; ++j) {
+    for (index_t i = 0; i < 10; ++i) {
+      if (i <= j) {
+        EXPECT_DOUBLE_EQ(r(i, j), f.qr(i, j));
+      } else {
+        EXPECT_DOUBLE_EQ(r(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Qr, LeastSquaresMatchesNormalEquations) {
+  const index_t m = 50, n = 8;
+  const auto a = random_dense(m, n, 4);
+  SketchSampler<double> s(5, Dist::Uniform, RngBackend::Xoshiro);
+  std::vector<double> b(static_cast<std::size_t>(m));
+  s.fill(0, 999, b.data(), m);
+
+  DenseMatrix<double> copy(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) copy(i, j) = a(i, j);
+  }
+  QrFactor<double> f = qr_factorize(std::move(copy));
+  const auto x = qr_least_squares(f, b.data());
+
+  // Optimality: Aᵀ(Ax − b) = 0.
+  std::vector<double> r(b);
+  for (index_t j = 0; j < n; ++j) {
+    axpy(m, -x[static_cast<std::size_t>(j)], a.col(j), r.data());
+  }
+  for (index_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(dot(m, a.col(j), r.data()), 0.0, 1e-9);
+  }
+}
+
+TEST(Qr, ExactSolveOnSquareSystem) {
+  const index_t n = 12;
+  const auto a = random_dense(n, n, 6);
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) x_true[static_cast<std::size_t>(i)] = i - 5.0;
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    axpy(n, x_true[static_cast<std::size_t>(j)], a.col(j), b.data());
+  }
+  DenseMatrix<double> copy(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) copy(i, j) = a(i, j);
+  }
+  QrFactor<double> f = qr_factorize(std::move(copy));
+  const auto x = qr_least_squares(f, b.data());
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(Qr, WideMatrixThrows) {
+  DenseMatrix<double> a(3, 5);
+  EXPECT_THROW(qr_factorize(std::move(a)), invalid_argument_error);
+}
+
+TEST(Qr, RankDeficientSolveThrows) {
+  // A structurally zero column gives an exactly zero R diagonal entry.
+  DenseMatrix<double> a(6, 2);
+  for (index_t i = 0; i < 6; ++i) a(i, 0) = static_cast<double>(i + 1);
+  QrFactor<double> f = qr_factorize(std::move(a));
+  std::vector<double> b(6, 1.0);
+  EXPECT_THROW(qr_least_squares(f, b.data()), invalid_argument_error);
+}
+
+TEST(Qr, AlreadyTriangularInput) {
+  DenseMatrix<double> a(4, 4);
+  for (index_t j = 0; j < 4; ++j) {
+    for (index_t i = 0; i <= j; ++i) a(i, j) = 1.0 + i + j;
+  }
+  QrFactor<double> f = qr_factorize(std::move(a));
+  // tau = 0 for all reflectors (columns already collapsed).
+  for (double t : f.tau) EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+}  // namespace
+}  // namespace rsketch

@@ -1,0 +1,135 @@
+// Randomized low-rank SVD on the fast right-sketch primitive.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dense/gemm.hpp"
+#include "solvers/randomized_svd.hpp"
+#include "solvers/svd.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generate.hpp"
+
+namespace rsketch {
+namespace {
+
+/// Exactly rank-r sparse-ish matrix: sum of r outer products of sparse
+/// vectors with prescribed weights.
+CscMatrix<double> low_rank_matrix(index_t m, index_t n, index_t r,
+                                  const std::vector<double>& weights,
+                                  std::uint64_t seed) {
+  CooMatrix<double> coo(m, n);
+  for (index_t t = 0; t < r; ++t) {
+    const auto u = random_sparse<double>(m, 1, 0.15, seed + 2 * t);
+    const auto v = random_sparse<double>(n, 1, 0.15, seed + 2 * t + 1);
+    for (index_t p = 0; p < u.nnz(); ++p) {
+      for (index_t q = 0; q < v.nnz(); ++q) {
+        coo.push(u.row_idx()[p], v.row_idx()[q],
+                 weights[static_cast<std::size_t>(t)] * u.values()[p] *
+                     v.values()[q]);
+      }
+    }
+  }
+  return coo_to_csc(coo);
+}
+
+DenseMatrix<double> densify(const CscMatrix<double>& a) {
+  DenseMatrix<double> d(a.rows(), a.cols());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t p = a.col_ptr()[j]; p < a.col_ptr()[j + 1]; ++p) {
+      d(a.row_idx()[p], j) = a.values()[p];
+    }
+  }
+  return d;
+}
+
+TEST(RandomizedSvd, RecoversExactLowRankMatrix) {
+  const index_t r = 4;
+  const auto a = low_rank_matrix(120, 80, r, {10.0, 5.0, 2.0, 1.0}, 1);
+  RandomizedSvdOptions opt;
+  opt.oversample = 6;
+  opt.power_iterations = 1;
+  const auto res = randomized_svd(a, r, opt);
+
+  // Residual ‖A − UΣVᵀ‖_F must be negligible for an exactly rank-r input.
+  DenseMatrix<double> us(120, r);
+  for (index_t c = 0; c < r; ++c) {
+    for (index_t i = 0; i < 120; ++i) us(i, c) = res.u(i, c) * res.sigma[c];
+  }
+  DenseMatrix<double> rec(120, 80);
+  gemm(false, true, 1.0, us, res.v, 0.0, rec);
+  const auto dense = densify(a);
+  EXPECT_LT(rec.max_abs_diff(dense), 1e-8 * dense.frobenius_norm());
+}
+
+TEST(RandomizedSvd, SigmaMatchesDenseJacobi) {
+  const auto a = random_sparse<double>(150, 60, 0.1, 2);
+  RandomizedSvdOptions opt;
+  opt.oversample = 10;
+  opt.power_iterations = 3;
+  const index_t r = 5;
+  const auto res = randomized_svd(a, r, opt);
+
+  const auto exact = jacobi_svd(densify(a));
+  for (index_t t = 0; t < r; ++t) {
+    EXPECT_NEAR(res.sigma[static_cast<std::size_t>(t)],
+                exact.sigma[static_cast<std::size_t>(t)],
+                0.05 * exact.sigma[0])
+        << "sigma_" << t;
+  }
+}
+
+TEST(RandomizedSvd, FactorsAreOrthonormal) {
+  const auto a = random_sparse<double>(100, 70, 0.08, 3);
+  const auto res = randomized_svd(a, 6);
+  DenseMatrix<double> utu(6, 6), vtv(6, 6);
+  gemm(true, false, 1.0, res.u, res.u, 0.0, utu);
+  gemm(true, false, 1.0, res.v, res.v, 0.0, vtv);
+  for (index_t i = 0; i < 6; ++i) {
+    for (index_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(utu(i, j), i == j ? 1.0 : 0.0, 1e-8);
+      EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(RandomizedSvd, SigmaDescending) {
+  const auto a = random_sparse<double>(90, 50, 0.12, 4);
+  const auto res = randomized_svd(a, 8);
+  for (std::size_t t = 1; t < res.sigma.size(); ++t) {
+    EXPECT_GE(res.sigma[t - 1], res.sigma[t]);
+  }
+}
+
+TEST(RandomizedSvd, DeterministicForSeed) {
+  const auto a = random_sparse<double>(80, 40, 0.1, 5);
+  const auto r1 = randomized_svd(a, 3);
+  const auto r2 = randomized_svd(a, 3);
+  for (int t = 0; t < 3; ++t) EXPECT_DOUBLE_EQ(r1.sigma[t], r2.sigma[t]);
+}
+
+TEST(RandomizedSvd, InvalidArgsThrow) {
+  const auto a = random_sparse<double>(30, 20, 0.2, 6);
+  EXPECT_THROW(randomized_svd(a, 0), invalid_argument_error);
+  RandomizedSvdOptions opt;
+  opt.oversample = 50;  // rank + oversample > min(m, n)
+  EXPECT_THROW(randomized_svd(a, 5, opt), invalid_argument_error);
+}
+
+TEST(RandomizedSvd, PowerIterationsSharpenTail) {
+  // With a slowly decaying spectrum, more power iterations should not make
+  // the leading singular value estimate worse.
+  const auto a = random_sparse<double>(200, 80, 0.05, 7);
+  const auto exact = jacobi_svd(densify(a));
+  RandomizedSvdOptions o0, o3;
+  o0.power_iterations = 0;
+  o3.power_iterations = 3;
+  const auto r0 = randomized_svd(a, 3, o0);
+  const auto r3 = randomized_svd(a, 3, o3);
+  const double e0 = std::fabs(r0.sigma[0] - exact.sigma[0]);
+  const double e3 = std::fabs(r3.sigma[0] - exact.sigma[0]);
+  EXPECT_LE(e3, e0 + 0.02 * exact.sigma[0]);
+}
+
+}  // namespace
+}  // namespace rsketch

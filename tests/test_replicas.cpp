@@ -1,0 +1,140 @@
+// The synthetic dataset replicas behind the benchmark suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solvers/least_squares.hpp"
+#include "sparse/ops.hpp"
+#include "testdata/replicas.hpp"
+
+namespace rsketch {
+namespace {
+
+class SpmmReplicas : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SpmmReplicas, ShapeTracksPaperDimensions) {
+  const std::string name = GetParam();
+  const index_t scale = 12;
+  const auto a = make_spmm_replica<float>(name, scale);
+  a.validate();
+  const SpmmReplicaInfo* info = nullptr;
+  for (const auto& i : spmm_replica_infos()) {
+    if (i.name == name) info = &i;
+  }
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(a.rows(), std::max<index_t>(1, info->m / scale));
+  EXPECT_EQ(a.cols(), std::max<index_t>(1, info->n / scale));
+  EXPECT_GT(a.nnz(), 0);
+  EXPECT_EQ(spmm_replica_d(name, scale), 3 * a.cols());
+}
+
+TEST_P(SpmmReplicas, Deterministic) {
+  const std::string name = GetParam();
+  const auto a = make_spmm_replica<float>(name, 16);
+  const auto b = make_spmm_replica<float>(name, 16);
+  EXPECT_EQ(a.row_idx(), b.row_idx());
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST_P(SpmmReplicas, PerColumnStructureMatchesOriginalFamily) {
+  const std::string name = GetParam();
+  const auto a = make_spmm_replica<float>(name, 12);
+  const SpmmReplicaInfo* info = nullptr;
+  for (const auto& i : spmm_replica_infos()) {
+    if (i.name == name) info = &i;
+  }
+  const index_t k = (info->nnz + info->n - 1) / info->n;
+  if (name != "mesh_deform") {
+    // Boundary-matrix style: every column has exactly k entries.
+    for (index_t j = 0; j < a.cols(); ++j) EXPECT_EQ(a.col_nnz(j), k);
+  } else {
+    // Banded: entries are near the scaled diagonal.
+    const index_t m = a.rows(), n = a.cols();
+    const index_t band = std::max<index_t>(k, m / 50);
+    for (index_t j = 0; j < n; j += 37) {
+      const index_t center = static_cast<index_t>(
+          (static_cast<double>(j) / (n - 1)) * (m - 1));
+      for (index_t p = a.col_ptr()[j]; p < a.col_ptr()[j + 1]; ++p) {
+        EXPECT_LE(std::abs(a.row_idx()[p] - center), band);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, SpmmReplicas,
+                         ::testing::Values("mk-12", "ch7-9-b3", "shar_te2-b2",
+                                           "mesh_deform", "cis-n4c6-b4"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string n = i.param;
+                           for (char& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(SpmmReplicas, UnknownNameThrows) {
+  EXPECT_THROW(make_spmm_replica<float>("nope", 4), invalid_argument_error);
+  EXPECT_THROW(spmm_replica_d("nope", 4), invalid_argument_error);
+  EXPECT_THROW(make_spmm_replica<float>("mk-12", 0), invalid_argument_error);
+}
+
+class LsReplicas : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LsReplicas, TallShapeAndDensity) {
+  const std::string name = GetParam();
+  const index_t scale = 12;
+  const auto a = make_ls_replica(name, scale);
+  a.validate();
+  EXPECT_GT(a.rows(), a.cols()) << "LS replicas must be tall";
+  EXPECT_GT(a.nnz(), 0);
+  const LsReplicaInfo* info = nullptr;
+  for (const auto& i : ls_replica_infos()) {
+    if (i.name == name) info = &i;
+  }
+  ASSERT_NE(info, nullptr);
+  // The rail/spal replicas add a 3-nnz-per-column spectral band on top of
+  // the random filler, which inflates density at aggressive scales — accept
+  // a factor-2 bracket around the paper's density.
+  const double paper_density =
+      static_cast<double>(info->nnz) /
+      (static_cast<double>(info->m) * static_cast<double>(info->n));
+  EXPECT_GT(a.density(), paper_density / 2.0);
+  EXPECT_LT(a.density(), paper_density * 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSeven, LsReplicas,
+                         ::testing::Values("rail2586", "spal_004", "rail4284",
+                                           "rail582", "specular", "connectus",
+                                           "landmark"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+TEST(LsReplicas, SpecularIllConditioningIsColumnScaling) {
+  const auto a = make_ls_replica("specular", 16);
+  const auto norms = column_norms(a);
+  double lo = 1e300, hi = 0.0;
+  for (double v : norms) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  // Column norms span many orders of magnitude (source of cond(A) ~ 1e14)...
+  EXPECT_GT(hi / lo, 1e8);
+  // ...and diagonal scaling fixes it (cond(AD) ≈ 30 in the paper).
+  const double cond_scaled = cond_estimate(a, diag_precond_scales(a));
+  EXPECT_LT(cond_scaled, 1e3);
+}
+
+TEST(LsReplicas, ConnectusStaysIllConditionedAfterScaling) {
+  const auto a = make_ls_replica("connectus", 16);
+  const double cond_scaled = cond_estimate(a, diag_precond_scales(a));
+  EXPECT_GT(cond_scaled, 1e8) << "near-duplicate columns must survive scaling";
+}
+
+TEST(LsReplicas, UnknownNameThrows) {
+  EXPECT_THROW(make_ls_replica("nope", 4), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace rsketch

@@ -1,0 +1,97 @@
+// Tests for the 8-lane batched Xoshiro generator.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "rng/xoshiro_batch.hpp"
+
+namespace rsketch {
+namespace {
+
+TEST(XoshiroBatch, Deterministic) {
+  XoshiroBatch a(11), b(11);
+  std::vector<std::uint64_t> va(64), vb(64);
+  a.fill_u64(va.data(), 64);
+  b.fill_u64(vb.data(), 64);
+  EXPECT_EQ(va, vb);
+}
+
+TEST(XoshiroBatch, CheckpointHistoryIndependent) {
+  XoshiroBatch a(11), b(11);
+  std::vector<std::uint64_t> junk(1024);
+  a.fill_u64(junk.data(), 1024);
+  a.set_state(2, 5);
+  b.set_state(2, 5);
+  std::vector<std::uint64_t> va(48), vb(48);
+  a.fill_u64(va.data(), 48);
+  b.fill_u64(vb.data(), 48);
+  EXPECT_EQ(va, vb);
+}
+
+TEST(XoshiroBatch, PrefixProperty) {
+  // Filling n from a checkpoint produces a prefix of filling n' > n — the
+  // kernels rely on this when the tail block of Â is shorter than b_d.
+  XoshiroBatch a(3), b(3);
+  a.set_state(1, 1);
+  b.set_state(1, 1);
+  std::vector<std::uint64_t> va(100), vb(37);
+  a.fill_u64(va.data(), 100);
+  b.fill_u64(vb.data(), 37);
+  for (int i = 0; i < 37; ++i) EXPECT_EQ(va[i], vb[i]) << i;
+}
+
+TEST(XoshiroBatch, LanesAreDistinct) {
+  XoshiroBatch g(17);
+  std::uint64_t out[XoshiroBatch::kLanes];
+  g.next8(out);
+  std::set<std::uint64_t> uniq(out, out + XoshiroBatch::kLanes);
+  EXPECT_EQ(uniq.size(), static_cast<std::size_t>(XoshiroBatch::kLanes));
+}
+
+TEST(XoshiroBatch, DistinctCheckpointsDistinctStreams) {
+  XoshiroBatch a(17), b(17);
+  a.set_state(0, 0);
+  b.set_state(0, 1);
+  std::vector<std::uint64_t> va(64), vb(64);
+  a.fill_u64(va.data(), 64);
+  b.fill_u64(vb.data(), 64);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (va[i] == vb[i]);
+  EXPECT_LE(same, 1);
+}
+
+TEST(XoshiroBatch, TailHandling) {
+  // Non-multiple-of-8 fills must not read past the end.
+  XoshiroBatch g(5);
+  for (index_t n : {1, 3, 7, 9, 15, 63}) {
+    std::vector<std::uint64_t> v(static_cast<std::size_t>(n) + 4, 0xDEADBEEF);
+    g.set_state(0, 0);
+    g.fill_u64(v.data(), n);
+    for (std::size_t i = static_cast<std::size_t>(n); i < v.size(); ++i) {
+      EXPECT_EQ(v[i], 0xDEADBEEFu) << "overwrote past n=" << n;
+    }
+  }
+}
+
+TEST(XoshiroBatch, BitBalance) {
+  XoshiroBatch g(2025);
+  std::vector<std::uint64_t> v(20000);
+  g.fill_u64(v.data(), static_cast<index_t>(v.size()));
+  std::int64_t ones = 0;
+  for (std::uint64_t w : v) ones += __builtin_popcountll(w);
+  EXPECT_NEAR(static_cast<double>(ones) / (64.0 * v.size()), 0.5, 0.01);
+}
+
+TEST(XoshiroBatch, SeedSensitivity) {
+  XoshiroBatch a(1), b(2);
+  std::vector<std::uint64_t> va(32), vb(32);
+  a.fill_u64(va.data(), 32);
+  b.fill_u64(vb.data(), 32);
+  int same = 0;
+  for (int i = 0; i < 32; ++i) same += (va[i] == vb[i]);
+  EXPECT_LE(same, 1);
+}
+
+}  // namespace
+}  // namespace rsketch

@@ -1,0 +1,198 @@
+// Tests for SketchSampler: distribution shapes, moments, determinism, and
+// the reproducibility contracts of the Xoshiro (block-checkpoint) and Philox
+// (per-entry) backends.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "rng/distributions.hpp"
+
+namespace rsketch {
+namespace {
+
+using Combo = std::tuple<Dist, RngBackend>;
+
+class SamplerMoments : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(SamplerMoments, MeanAndSecondMomentMatchTheory) {
+  const auto [dist, backend] = GetParam();
+  SketchSampler<float> s(321, dist, backend);
+  const index_t n = 4000;
+  std::vector<float> v(static_cast<std::size_t>(n));
+  double sum = 0.0, sum2 = 0.0;
+  const int cols = 25;
+  for (int j = 0; j < cols; ++j) {
+    s.fill(0, j, v.data(), n);
+    for (float x : v) {
+      sum += x;
+      sum2 += static_cast<double>(x) * x;
+    }
+  }
+  const double total = static_cast<double>(n) * cols;
+  const double mean = sum / total;
+  const double m2 = sum2 / total;
+  const double expected_m2 = static_cast<double>(dist_second_moment<float>(dist));
+  // Junk is a deterministic ablation filler; only require boundedness there.
+  if (dist == Dist::Junk) {
+    EXPECT_LT(std::fabs(mean), 1.0);
+    return;
+  }
+  const double sd = std::sqrt(expected_m2);
+  EXPECT_LT(std::fabs(mean), 4.0 * sd / std::sqrt(total)) << "mean off";
+  EXPECT_NEAR(m2 / expected_m2, 1.0, 0.05) << "second moment off";
+}
+
+TEST_P(SamplerMoments, DeterministicPerCheckpoint) {
+  const auto [dist, backend] = GetParam();
+  SketchSampler<float> a(77, dist, backend), b(77, dist, backend);
+  std::vector<float> va(257), vb(257);
+  a.fill(1000, 42, va.data(), 257);
+  // b draws other blocks first; checkpointed fill must still agree.
+  b.fill(0, 0, vb.data(), 257);
+  b.fill(1000, 42, vb.data(), 257);
+  EXPECT_EQ(va, vb);
+}
+
+TEST_P(SamplerMoments, CountsSamples) {
+  const auto [dist, backend] = GetParam();
+  SketchSampler<float> s(1, dist, backend);
+  std::vector<float> v(100);
+  s.fill(0, 0, v.data(), 100);
+  s.fill(0, 1, v.data(), 50);
+  EXPECT_EQ(s.samples_generated(), 150u);
+  s.reset_counter();
+  EXPECT_EQ(s.samples_generated(), 0u);
+  s.fill(0, 2, v.data(), 0);
+  EXPECT_EQ(s.samples_generated(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SamplerMoments,
+    ::testing::Combine(::testing::Values(Dist::PmOne, Dist::Uniform,
+                                         Dist::UniformScaled, Dist::Gaussian,
+                                         Dist::Junk),
+                       ::testing::Values(RngBackend::Xoshiro,
+                                         RngBackend::XoshiroBatch,
+                                         RngBackend::Philox)),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      std::string name = to_string(std::get<0>(info.param)) + "_" +
+                         to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(PmOne, ValuesAreExactlyPlusMinusOne) {
+  for (RngBackend b : {RngBackend::Xoshiro, RngBackend::XoshiroBatch,
+                       RngBackend::Philox}) {
+    SketchSampler<float> s(5, Dist::PmOne, b);
+    std::vector<float> v(1001);
+    s.fill(3, 7, v.data(), 1001);
+    int plus = 0;
+    for (float x : v) {
+      ASSERT_TRUE(x == 1.0f || x == -1.0f);
+      plus += (x == 1.0f);
+    }
+    // Roughly balanced signs.
+    EXPECT_NEAR(static_cast<double>(plus) / 1001.0, 0.5, 0.08);
+  }
+}
+
+TEST(Uniform, ValuesInOpenInterval) {
+  SketchSampler<float> s(5, Dist::Uniform, RngBackend::XoshiroBatch);
+  std::vector<float> v(4096);
+  s.fill(0, 0, v.data(), 4096);
+  for (float x : v) {
+    EXPECT_GE(x, -1.0f);
+    EXPECT_LT(x, 1.0f);
+  }
+}
+
+TEST(ScalingTrick, RawIntegersTimesFactorEqualUniform) {
+  // The UniformScaled stream must be exactly the Uniform stream divided by
+  // the 2^-31 factor (same underlying bits) — this is what makes
+  // (Sf)(A/f) = SA exact.
+  SketchSampler<float> u(99, Dist::Uniform, RngBackend::XoshiroBatch);
+  SketchSampler<float> r(99, Dist::UniformScaled, RngBackend::XoshiroBatch);
+  std::vector<float> vu(512), vr(512);
+  u.fill(64, 3, vu.data(), 512);
+  r.fill(64, 3, vr.data(), 512);
+  for (int i = 0; i < 512; ++i) {
+    EXPECT_FLOAT_EQ(vu[i],
+                    vr[i] * static_cast<float>(kScalingTrickFactor))
+        << i;
+  }
+}
+
+TEST(Gaussian, RoughNormality) {
+  SketchSampler<double> s(2024, Dist::Gaussian, RngBackend::XoshiroBatch);
+  const index_t n = 60000;
+  std::vector<double> v(static_cast<std::size_t>(n));
+  s.fill(0, 0, v.data(), n);
+  double m = 0, m2 = 0, m4 = 0;
+  index_t within1 = 0;
+  for (double x : v) {
+    m += x;
+    m2 += x * x;
+    m4 += x * x * x * x;
+    within1 += std::fabs(x) < 1.0;
+  }
+  m /= n;
+  m2 /= n;
+  m4 /= n;
+  EXPECT_NEAR(m, 0.0, 0.02);
+  EXPECT_NEAR(m2, 1.0, 0.03);
+  EXPECT_NEAR(m4 / (m2 * m2), 3.0, 0.15);  // Gaussian kurtosis
+  EXPECT_NEAR(static_cast<double>(within1) / n, 0.6827, 0.01);
+}
+
+TEST(Junk, BoundedAndCheap) {
+  SketchSampler<float> s(1, Dist::Junk, RngBackend::XoshiroBatch);
+  std::vector<float> v(3000);
+  s.fill(9, 17, v.data(), 3000);
+  for (float x : v) EXPECT_LT(std::fabs(x), 1.0f);
+  // Junk is deterministic in (seed, r, j).
+  std::vector<float> w(3000);
+  s.fill(9, 17, w.data(), 3000);
+  EXPECT_EQ(v, w);
+}
+
+TEST(PhiloxBackend, BlockingIndependentPerEntry) {
+  // Splitting a column fill at any point must reproduce the same values —
+  // the property that makes Philox sketches independent of b_d.
+  for (Dist dist : {Dist::PmOne, Dist::Uniform, Dist::UniformScaled}) {
+    SketchSampler<float> s(12, dist, RngBackend::Philox);
+    std::vector<float> whole(200), split(200);
+    s.fill(0, 9, whole.data(), 200);
+    s.fill(0, 9, split.data(), 81);
+    s.fill(81, 9, split.data() + 81, 119);
+    EXPECT_EQ(whole, split) << to_string(dist);
+  }
+}
+
+TEST(XoshiroBackend, BlockDependentByDesign) {
+  // Documented behaviour: Xoshiro checkpoints are per-block, so splitting a
+  // fill changes the values (the paper accepts this, §IV-B2).
+  SketchSampler<float> s(12, Dist::Uniform, RngBackend::XoshiroBatch);
+  std::vector<float> whole(200), split(200);
+  s.fill(0, 9, whole.data(), 200);
+  s.fill(0, 9, split.data(), 81);
+  s.fill(81, 9, split.data() + 81, 119);
+  EXPECT_NE(whole, split);
+}
+
+TEST(Sampler, DoubleSpecializationWorks) {
+  SketchSampler<double> s(44, Dist::Uniform, RngBackend::Xoshiro);
+  std::vector<double> v(101);
+  s.fill(0, 0, v.data(), 101);
+  for (double x : v) {
+    EXPECT_GE(x, -1.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rsketch

@@ -1,0 +1,119 @@
+// Tests for the scalar Xoshiro generators and the block-checkpoint seeking
+// contract that underpins reproducible on-the-fly regeneration of S.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace rsketch {
+namespace {
+
+TEST(SplitMix64, ReferenceStream) {
+  // Reference values for seed 0 from the public splitmix64 implementation.
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64_next(s), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(splitmix64_next(s), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(splitmix64_next(s), 0x06C45D188009454FULL);
+}
+
+TEST(Mix3, DistinguishesCoordinates) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    for (std::uint64_t j = 0; j < 8; ++j) {
+      outs.insert(mix3(42, r, j));
+    }
+  }
+  EXPECT_EQ(outs.size(), 64u) << "nearby (r, j) must map to distinct mixes";
+}
+
+TEST(Mix3, SeedMatters) {
+  EXPECT_NE(mix3(1, 5, 7), mix3(2, 5, 7));
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256pp a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer) {
+  Xoshiro256pp a(123), b(124);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Xoshiro256, SetStateIsHistoryIndependent) {
+  // The checkpoint contract: after set_state(r, j) the stream depends only
+  // on (seed, r, j), not on how many samples were drawn before.
+  Xoshiro256pp a(7), b(7);
+  for (int i = 0; i < 1000; ++i) a.next();  // perturb a's history
+  a.set_state(3, 9);
+  b.set_state(3, 9);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, SetStateDistinctBlocksDistinctStreams) {
+  Xoshiro256pp a(7), b(7);
+  a.set_state(3, 9);
+  b.set_state(3, 10);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Xoshiro256, ReseedResetsEverything) {
+  Xoshiro256pp a(7);
+  a.set_state(1, 2);
+  a.next();
+  a.reseed(7);
+  Xoshiro256pp fresh(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), fresh.next());
+}
+
+TEST(Xoshiro256, BitBalance) {
+  // Monobit sanity: about half the bits over a long stream should be set.
+  Xoshiro256pp g(2024);
+  std::int64_t ones = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) ones += __builtin_popcountll(g.next());
+  const double frac = static_cast<double>(ones) / (64.0 * n);
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, JumpDecorrelates) {
+  Xoshiro256pp a(9), b(9);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256pp::min() == 0);
+  static_assert(Xoshiro256pp::max() == ~std::uint64_t{0});
+  Xoshiro256pp g(1);
+  EXPECT_NE(g(), g());
+}
+
+TEST(Xoshiro128, DeterministicAndSeekable) {
+  Xoshiro128pp a(55), b(55);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next(), b.next());
+  a.set_state(4, 4);
+  for (int i = 0; i < 123; ++i) b.next();
+  b.set_state(4, 4);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro128, BitBalance) {
+  Xoshiro128pp g(77);
+  std::int64_t ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += __builtin_popcount(g.next());
+  EXPECT_NEAR(static_cast<double>(ones) / (32.0 * n), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace rsketch

@@ -1,0 +1,97 @@
+// §III-A model: the closed-form corner cases and the numeric optimizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/roofline.hpp"
+
+namespace rsketch {
+namespace {
+
+RooflineParams params(double m, double h, double rho, double b = 100.0) {
+  RooflineParams p;
+  p.cache_elems = m;
+  p.rng_cost = h;
+  p.density = rho;
+  p.machine_balance = b;
+  return p;
+}
+
+TEST(Roofline, Eq5SmallRhoCiAtN1EqualsClosedForm) {
+  // For ρ → 0 and n₁ = 1, CI must approach 2M/(4+Mh) (Eq. 5).
+  const double m = 1e6, h = 0.1;
+  const auto p = params(m, h, 1e-9);
+  EXPECT_NEAR(ci(p, 1.0) / ci_small_rho(m, h), 1.0, 1e-6);
+}
+
+TEST(Roofline, OptimalN1IsOneForTinyRho) {
+  const auto p = params(1e6, 0.2, 1e-10);
+  EXPECT_DOUBLE_EQ(optimal_n1(p, 1e4), 1.0);
+}
+
+TEST(Roofline, OptimalN1MatchesClosedFormForDenseCase)
+{
+  // ρ → 1: n₁* = sqrt(hM)/(2 sqrt(ρ)) (§III-A2).
+  const double m = 4e6, h = 0.25, rho = 0.9999999;
+  const auto p = params(m, h, rho);
+  const double expected = std::sqrt(h * m) / (2.0 * std::sqrt(rho));
+  EXPECT_NEAR(optimal_n1(p, 1e7) / expected, 1.0, 0.01);
+}
+
+TEST(Roofline, Eq7LargeRhoFraction) {
+  const double m = 1e6, h = 0.25, rho = 1.0, b = 50.0;
+  const auto p = params(m, h, rho, b);
+  const double expected = std::sqrt(m * rho) / (2.0 * b * std::sqrt(h));
+  EXPECT_NEAR(peak_fraction_large_rho(p), std::min(1.0, expected), 1e-12);
+}
+
+TEST(Roofline, BeatsGemmBoundByRootMWhenHIsZero) {
+  // The headline claim: with free RNG, CI = M/2 vs GEMM's sqrt(M) —
+  // a factor of sqrt(M)/2 improvement.
+  const double m = 1e6, b = 1e9;  // huge B so fractions stay < 1
+  const double ours = ci_small_rho(m, 0.0);
+  const double gemm_ci = std::sqrt(m);
+  EXPECT_NEAR(ours / gemm_ci, std::sqrt(m) / 2.0, 1e-6);
+  EXPECT_GT(peak_fraction(ours, b), gemm_peak_fraction(m, b));
+}
+
+TEST(Roofline, ExpensiveRngDegradesCi) {
+  const double m = 1e6;
+  EXPECT_GT(ci_small_rho(m, 0.01), ci_small_rho(m, 0.1));
+  EXPECT_GT(ci_small_rho(m, 0.1), ci_small_rho(m, 1.0));
+  // With Mh >> 4 the CI approaches 2/h, independent of M.
+  EXPECT_NEAR(ci_small_rho(1e9, 0.5), 2.0 / 0.5, 0.1);
+}
+
+TEST(Roofline, ModelBlocksRespectCacheConstraint) {
+  const auto p = params(1e6, 0.1, 1e-3);
+  for (double n1 : {1.0, 10.0, 100.0}) {
+    const auto b = model_blocks(p, n1);
+    EXPECT_NEAR(b.d1 * n1 + b.m1 * n1 * p.density, p.cache_elems,
+                1e-6 * p.cache_elems);
+  }
+}
+
+TEST(Roofline, InverseCiIsReciprocalOfCi) {
+  const auto p = params(5e5, 0.3, 1e-2);
+  for (double n1 : {1.0, 7.0, 33.0}) {
+    EXPECT_NEAR(ci(p, n1) * inverse_ci(p, n1), 1.0, 1e-12);
+  }
+}
+
+TEST(Roofline, OptimizerBeatsNeighbors) {
+  // Optimality check: n₁* must not be improved by ±1.
+  const auto p = params(2e6, 0.15, 5e-3);
+  const double n1 = optimal_n1(p, 1e5);
+  const double f = inverse_ci(p, n1);
+  EXPECT_LE(f, inverse_ci(p, n1 + 1.0) + 1e-15);
+  if (n1 > 1.0) EXPECT_LE(f, inverse_ci(p, n1 - 1.0) + 1e-15);
+}
+
+TEST(Roofline, PeakFractionCapsAtOne) {
+  EXPECT_DOUBLE_EQ(peak_fraction(1e12, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(gemm_peak_fraction(4.0, 1e9), 2.0 / 1e9);
+}
+
+}  // namespace
+}  // namespace rsketch

@@ -1,0 +1,121 @@
+// Dense sketch application Y = S·X: consistency with the sparse kernels'
+// virtual S, vector convenience API, parallel determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sketch/sketch.hpp"
+#include "sketch/sketch_dense.hpp"
+#include "sparse/generate.hpp"
+
+namespace rsketch {
+namespace {
+
+DenseMatrix<double> random_dense(index_t m, index_t k, std::uint64_t seed) {
+  SketchSampler<double> g(seed, Dist::Uniform, RngBackend::Xoshiro);
+  DenseMatrix<double> x(m, k);
+  for (index_t c = 0; c < k; ++c) g.fill(0, c + 1000, x.col(c), m);
+  return x;
+}
+
+TEST(SketchDense, MatchesMaterializedS) {
+  const index_t m = 50, k = 7, d = 30;
+  const auto x = random_dense(m, k, 1);
+  SketchConfig cfg;
+  cfg.d = d;
+  cfg.block_d = 13;
+  const auto s = materialize_S<double>(cfg, m);
+
+  DenseMatrix<double> y;
+  sketch_dense_into(cfg, x, y);
+  for (index_t c = 0; c < k; ++c) {
+    for (index_t i = 0; i < d; ++i) {
+      double acc = 0.0;
+      for (index_t j = 0; j < m; ++j) acc += s(i, j) * x(j, c);
+      EXPECT_NEAR(y(i, c), acc, 1e-10) << i << "," << c;
+    }
+  }
+}
+
+TEST(SketchDense, ConsistentWithSparseSketchOfSameMatrix) {
+  // Densifying A and sketching must agree with the sparse kernel.
+  const auto a = random_sparse<double>(40, 12, 0.3, 2);
+  SketchConfig cfg;
+  cfg.d = 20;
+  cfg.block_d = 9;
+  DenseMatrix<double> a_dense(a.rows(), a.cols());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t p = a.col_ptr()[j]; p < a.col_ptr()[j + 1]; ++p) {
+      a_dense(a.row_idx()[p], j) = a.values()[p];
+    }
+  }
+  DenseMatrix<double> from_dense;
+  sketch_dense_into(cfg, a_dense, from_dense);
+  DenseMatrix<double> from_sparse;
+  sketch_into(cfg, a, from_sparse);
+  EXPECT_LT(from_dense.max_abs_diff(from_sparse), 1e-10);
+}
+
+TEST(SketchDense, VectorConvenienceMatchesMatrixPath) {
+  const index_t m = 33;
+  std::vector<double> x(static_cast<std::size_t>(m));
+  for (index_t i = 0; i < m; ++i) x[static_cast<std::size_t>(i)] = 0.1 * i - 1.0;
+  SketchConfig cfg;
+  cfg.d = 14;
+  const auto y = sketch_dense_vector(cfg, x.data(), m);
+
+  DenseMatrix<double> xm(m, 1);
+  for (index_t i = 0; i < m; ++i) xm(i, 0) = x[static_cast<std::size_t>(i)];
+  DenseMatrix<double> ym;
+  sketch_dense_into(cfg, xm, ym);
+  for (index_t i = 0; i < cfg.d; ++i) {
+    EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)], ym(i, 0));
+  }
+}
+
+TEST(SketchDense, ParallelMatchesSequential) {
+  const auto x = random_dense(200, 5, 3);
+  SketchConfig cfg;
+  cfg.d = 64;
+  cfg.block_d = 16;
+  cfg.parallel = ParallelOver::Sequential;
+  DenseMatrix<double> seq;
+  sketch_dense_into(cfg, x, seq);
+  cfg.parallel = ParallelOver::DBlocks;
+  DenseMatrix<double> par;
+  sketch_dense_into(cfg, x, par);
+  EXPECT_EQ(seq.max_abs_diff(par), 0.0);
+}
+
+TEST(SketchDense, SampleCountIndependentOfK) {
+  // One regenerated column per (block, row) regardless of X's width.
+  const auto x1 = random_dense(100, 1, 4);
+  const auto x8 = random_dense(100, 8, 4);
+  SketchConfig cfg;
+  cfg.d = 32;
+  cfg.block_d = 32;
+  DenseMatrix<double> y;
+  const auto s1 = sketch_dense_into(cfg, x1, y);
+  const auto s8 = sketch_dense_into(cfg, x8, y);
+  EXPECT_EQ(s1.samples_generated, s8.samples_generated);
+  EXPECT_EQ(s1.samples_generated, 32u * 100u);
+}
+
+TEST(SketchDense, NormPreservationWithNormalize) {
+  const auto x = random_dense(300, 3, 5);
+  SketchConfig cfg;
+  cfg.d = 256;
+  cfg.dist = Dist::PmOne;
+  cfg.normalize = true;
+  DenseMatrix<double> y;
+  sketch_dense_into(cfg, x, y);
+  for (index_t c = 0; c < 3; ++c) {
+    double orig = 0.0, sk = 0.0;
+    for (index_t i = 0; i < 300; ++i) orig += x(i, c) * x(i, c);
+    for (index_t i = 0; i < 256; ++i) sk += y(i, c) * y(i, c);
+    EXPECT_NEAR(std::sqrt(sk / orig), 1.0, 0.3);
+  }
+}
+
+}  // namespace
+}  // namespace rsketch

@@ -1,0 +1,123 @@
+// Conversion round-trip tests across COO/CSC/CSR and transposition,
+// including parameterized sweeps over random matrices.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sparse/convert.hpp"
+#include "sparse/generate.hpp"
+
+namespace rsketch {
+namespace {
+
+TEST(Convert, CooToCscSumsDuplicates) {
+  CooMatrix<double> c(3, 2);
+  c.push(1, 0, 2.0);
+  c.push(1, 0, 3.0);  // duplicate coordinate
+  c.push(0, 1, 1.0);
+  c.push(2, 0, 4.0);
+  const auto a = coo_to_csc(c);
+  a.validate();
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+}
+
+TEST(Convert, CooToCsrSumsDuplicates) {
+  CooMatrix<double> c(2, 3);
+  c.push(0, 2, 1.0);
+  c.push(0, 2, -1.0);  // cancels to zero but stays stored as one entry
+  c.push(1, 1, 7.0);
+  const auto a = coo_to_csr(c);
+  a.validate();
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0 + a.at(0, 2));  // present entry
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 7.0);
+}
+
+TEST(Convert, CooUnsortedInputSorted) {
+  CooMatrix<float> c(4, 4);
+  c.push(3, 3, 1.0f);
+  c.push(0, 0, 2.0f);
+  c.push(2, 0, 3.0f);
+  c.push(1, 0, 4.0f);
+  const auto a = coo_to_csc(c);
+  a.validate();  // validates ascending row order per column
+  EXPECT_FLOAT_EQ(a.at(1, 0), 4.0f);
+  EXPECT_FLOAT_EQ(a.at(2, 0), 3.0f);
+}
+
+TEST(Convert, EmptyCoo) {
+  CooMatrix<double> c(3, 3);
+  const auto csc = coo_to_csc(c);
+  EXPECT_EQ(csc.nnz(), 0);
+  const auto csr = coo_to_csr(c);
+  EXPECT_EQ(csr.nnz(), 0);
+}
+
+class ConvertRoundTrip
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, double>> {};
+
+TEST_P(ConvertRoundTrip, CscCsrCscPreservesMatrix) {
+  const auto [m, n, density] = GetParam();
+  const auto a = random_sparse<double>(m, n, density, 42);
+  const auto csr = csc_to_csr(a);
+  csr.validate();
+  EXPECT_EQ(csr.nnz(), a.nnz());
+  const auto back = csr_to_csc(csr);
+  back.validate();
+  ASSERT_EQ(back.nnz(), a.nnz());
+  EXPECT_EQ(back.col_ptr(), a.col_ptr());
+  EXPECT_EQ(back.row_idx(), a.row_idx());
+  EXPECT_EQ(back.values(), a.values());
+}
+
+TEST_P(ConvertRoundTrip, TransposeTwiceIsIdentity) {
+  const auto [m, n, density] = GetParam();
+  const auto a = random_sparse<double>(m, n, density, 7);
+  const auto at = transpose(a);
+  at.validate();
+  EXPECT_EQ(at.rows(), n);
+  EXPECT_EQ(at.cols(), m);
+  EXPECT_EQ(at.nnz(), a.nnz());
+  const auto att = transpose(at);
+  EXPECT_EQ(att.col_ptr(), a.col_ptr());
+  EXPECT_EQ(att.row_idx(), a.row_idx());
+  EXPECT_EQ(att.values(), a.values());
+}
+
+TEST_P(ConvertRoundTrip, TransposeEntriesMatch) {
+  const auto [m, n, density] = GetParam();
+  const auto a = random_sparse<double>(m, n, density, 13);
+  const auto at = transpose(a);
+  // Spot-check a grid of entries.
+  for (index_t i = 0; i < std::min<index_t>(m, 10); ++i) {
+    for (index_t j = 0; j < std::min<index_t>(n, 10); ++j) {
+      EXPECT_DOUBLE_EQ(a.at(i, j), at.at(j, i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvertRoundTrip,
+    ::testing::Values(std::make_tuple<index_t, index_t, double>(1, 1, 1.0),
+                      std::make_tuple<index_t, index_t, double>(50, 30, 0.1),
+                      std::make_tuple<index_t, index_t, double>(200, 10, 0.02),
+                      std::make_tuple<index_t, index_t, double>(10, 200, 0.02),
+                      std::make_tuple<index_t, index_t, double>(64, 64, 0.5),
+                      std::make_tuple<index_t, index_t, double>(100, 100,
+                                                                0.0)));
+
+TEST(Convert, CsrRoundTripStartingFromCsr) {
+  const auto base = random_sparse<float>(40, 25, 0.15, 99);
+  const auto csr = csc_to_csr(base);
+  const auto csc = csr_to_csc(csr);
+  const auto csr2 = csc_to_csr(csc);
+  EXPECT_EQ(csr.row_ptr(), csr2.row_ptr());
+  EXPECT_EQ(csr.col_idx(), csr2.col_idx());
+  EXPECT_EQ(csr.values(), csr2.values());
+}
+
+}  // namespace
+}  // namespace rsketch

@@ -1,0 +1,117 @@
+// Structural tests for the CSC/CSR/COO containers.
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+
+namespace rsketch {
+namespace {
+
+CscMatrix<double> small_csc() {
+  // [ 1 0 2 ]
+  // [ 0 3 0 ]
+  // [ 4 0 5 ]
+  return CscMatrix<double>(3, 3, {0, 2, 3, 5}, {0, 2, 1, 0, 2},
+                           {1.0, 4.0, 3.0, 2.0, 5.0});
+}
+
+TEST(Csc, BasicAccessors) {
+  const auto a = small_csc();
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_EQ(a.nnz(), 5);
+  EXPECT_DOUBLE_EQ(a.density(), 5.0 / 9.0);
+  EXPECT_EQ(a.col_nnz(0), 2);
+  EXPECT_EQ(a.col_nnz(1), 1);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 0.0);
+}
+
+TEST(Csc, AtOutOfRangeThrows) {
+  const auto a = small_csc();
+  EXPECT_THROW(a.at(3, 0), invalid_argument_error);
+  EXPECT_THROW(a.at(0, -1), invalid_argument_error);
+}
+
+TEST(Csc, EmptyMatrix) {
+  CscMatrix<double> a(5, 4);
+  EXPECT_EQ(a.nnz(), 0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 0.0);
+  a.validate();
+  CscMatrix<double> zero(0, 0);
+  EXPECT_EQ(zero.nnz(), 0);
+  EXPECT_DOUBLE_EQ(zero.density(), 0.0);
+}
+
+TEST(Csc, ValidateRejectsBadColPtr) {
+  EXPECT_THROW(CscMatrix<double>(2, 2, {0, 2}, {0}, {1.0}),
+               invalid_argument_error);  // col_ptr wrong size
+  EXPECT_THROW(CscMatrix<double>(2, 2, {0, 2, 1}, {0, 1}, {1.0, 2.0}),
+               invalid_argument_error);  // non-monotone
+  EXPECT_THROW(CscMatrix<double>(2, 2, {0, 1, 3}, {0, 1}, {1.0, 2.0}),
+               invalid_argument_error);  // back != nnz
+}
+
+TEST(Csc, ValidateRejectsBadRowIndices) {
+  EXPECT_THROW(CscMatrix<double>(2, 2, {0, 1, 2}, {0, 2}, {1.0, 2.0}),
+               invalid_argument_error);  // row out of range
+  EXPECT_THROW(
+      CscMatrix<double>(3, 1, {0, 2}, {1, 1}, {1.0, 2.0}),
+      invalid_argument_error);  // duplicate (not strictly ascending)
+  EXPECT_THROW(CscMatrix<double>(3, 1, {0, 2}, {2, 0}, {1.0, 2.0}),
+               invalid_argument_error);  // descending
+}
+
+TEST(Csc, ScaleMultipliesValues) {
+  auto a = small_csc();
+  a.scale(2.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 10.0);
+}
+
+TEST(Csc, MemoryBytes) {
+  const auto a = small_csc();
+  const std::size_t expected =
+      4 * sizeof(index_t) + 5 * sizeof(index_t) + 5 * sizeof(double);
+  EXPECT_EQ(a.memory_bytes(), expected);
+}
+
+TEST(Csr, BasicAccessorsAndValidate) {
+  // Same small matrix, CSR layout.
+  CsrMatrix<double> a(3, 3, {0, 2, 3, 5}, {0, 2, 1, 0, 2},
+                      {1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(a.row_nnz(0), 2);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 1), 0.0);
+  EXPECT_THROW(a.at(0, 5), invalid_argument_error);
+}
+
+TEST(Csr, ValidateRejectsBadStructure) {
+  EXPECT_THROW(CsrMatrix<double>(2, 2, {0, 1}, {0}, {1.0}),
+               invalid_argument_error);
+  EXPECT_THROW(CsrMatrix<double>(2, 2, {0, 1, 2}, {0, 3}, {1.0, 2.0}),
+               invalid_argument_error);
+  EXPECT_THROW(CsrMatrix<double>(2, 3, {0, 2, 2}, {1, 1}, {1.0, 2.0}),
+               invalid_argument_error);
+}
+
+TEST(Coo, PushAndBounds) {
+  CooMatrix<float> c(4, 3);
+  c.push(0, 0, 1.0f);
+  c.push(3, 2, 2.0f);
+  EXPECT_EQ(c.nnz(), 2);
+  EXPECT_THROW(c.push(4, 0, 1.0f), invalid_argument_error);
+  EXPECT_THROW(c.push(0, 3, 1.0f), invalid_argument_error);
+  EXPECT_THROW(c.push(-1, 0, 1.0f), invalid_argument_error);
+}
+
+TEST(Coo, NegativeDimensionThrows) {
+  EXPECT_THROW(CooMatrix<float>(-1, 2), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace rsketch

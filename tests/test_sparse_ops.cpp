@@ -1,0 +1,128 @@
+// Sparse BLAS-2 operations against dense references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/generate.hpp"
+#include "sparse/ops.hpp"
+
+namespace rsketch {
+namespace {
+
+/// Dense reference y = alpha*A*x + beta*y.
+std::vector<double> ref_spmv(const CscMatrix<double>& a,
+                             const std::vector<double>& x, double alpha,
+                             double beta, std::vector<double> y) {
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (index_t j = 0; j < a.cols(); ++j) s += a.at(i, j) * x[j];
+    y[i] = beta * y[i] + alpha * s;
+  }
+  return y;
+}
+
+TEST(Spmv, MatchesDenseReference) {
+  const auto a = random_sparse<double>(40, 25, 0.2, 1);
+  std::vector<double> x(25), y(40, 0.5);
+  for (index_t j = 0; j < 25; ++j) x[j] = 0.1 * j - 1.0;
+  auto expect = ref_spmv(a, x, 2.0, 3.0, y);
+  spmv(a, x.data(), y.data(), 2.0, 3.0);
+  for (index_t i = 0; i < 40; ++i) EXPECT_NEAR(y[i], expect[i], 1e-12);
+}
+
+TEST(Spmv, BetaZeroIgnoresInitialY) {
+  const auto a = random_sparse<double>(10, 10, 0.3, 2);
+  std::vector<double> x(10, 1.0);
+  std::vector<double> y(10, std::nan(""));
+  spmv(a, x.data(), y.data());  // beta = 0 must overwrite NaNs
+  for (double v : y) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(SpmvTranspose, MatchesDenseReference) {
+  const auto a = random_sparse<double>(30, 45, 0.15, 3);
+  std::vector<double> x(30), y(45, -1.0);
+  for (index_t i = 0; i < 30; ++i) x[i] = std::sin(i);
+  std::vector<double> expect(45);
+  for (index_t j = 0; j < 45; ++j) {
+    double s = 0.0;
+    for (index_t i = 0; i < 30; ++i) s += a.at(i, j) * x[i];
+    expect[j] = -1.0 * 0.5 + 1.5 * s;
+  }
+  for (auto& v : y) v = 0.5;
+  spmv_transpose(a, x.data(), y.data(), 1.5, -1.0);
+  for (index_t j = 0; j < 45; ++j) EXPECT_NEAR(y[j], expect[j], 1e-12);
+}
+
+TEST(SpmvAndTranspose, AdjointIdentity) {
+  // <A x, y> == <x, Aᵀ y> for random vectors.
+  const auto a = random_sparse<double>(50, 35, 0.1, 4);
+  std::vector<double> x(35), y(50), ax(50), aty(35);
+  for (index_t j = 0; j < 35; ++j) x[j] = 0.3 * j - 5.0;
+  for (index_t i = 0; i < 50; ++i) y[i] = std::cos(i);
+  spmv(a, x.data(), ax.data());
+  spmv_transpose(a, y.data(), aty.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (index_t i = 0; i < 50; ++i) lhs += ax[i] * y[i];
+  for (index_t j = 0; j < 35; ++j) rhs += x[j] * aty[j];
+  EXPECT_NEAR(lhs, rhs, 1e-10 * (std::fabs(lhs) + 1.0));
+}
+
+TEST(ColumnNorms, MatchesDense) {
+  const auto a = random_sparse<double>(60, 12, 0.25, 5);
+  const auto norms = column_norms(a);
+  for (index_t j = 0; j < 12; ++j) {
+    double s = 0.0;
+    for (index_t i = 0; i < 60; ++i) s += a.at(i, j) * a.at(i, j);
+    EXPECT_NEAR(norms[j], std::sqrt(s), 1e-12);
+  }
+}
+
+TEST(FrobeniusNorm, MatchesSumOfSquares) {
+  const auto a = random_sparse<double>(30, 30, 0.2, 6);
+  double s = 0.0;
+  for (double v : a.values()) s += v * v;
+  EXPECT_NEAR(frobenius_norm(a), std::sqrt(s), 1e-12);
+}
+
+TEST(EmptyRowsCols, CountAndDrop) {
+  // Build a matrix with known empty row 1 and empty column 2.
+  CscMatrix<double> a(4, 3, {0, 2, 4, 4}, {0, 2, 2, 3}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(count_empty_rows(a), 1);  // row 1
+  EXPECT_EQ(count_empty_cols(a), 1);  // col 2
+
+  const auto c = drop_empty_cols(a);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_EQ(c.nnz(), 4);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(3, 1), 4.0);
+
+  const auto r = drop_empty_rows(a);
+  EXPECT_EQ(r.rows(), 3);
+  EXPECT_EQ(r.nnz(), 4);
+  // Former row 2 becomes row 1, former row 3 becomes row 2.
+  EXPECT_DOUBLE_EQ(r.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(r.at(2, 1), 4.0);
+}
+
+TEST(EmptyRowsCols, NoopWhenNoneEmpty) {
+  const auto a = fixed_nnz_per_col<double>(10, 10, 10, 7);  // fully dense cols
+  EXPECT_EQ(count_empty_rows(a), 0);
+  EXPECT_EQ(count_empty_cols(a), 0);
+  const auto c = drop_empty_cols(a);
+  EXPECT_EQ(c.cols(), 10);
+  const auto r = drop_empty_rows(a);
+  EXPECT_EQ(r.rows(), 10);
+}
+
+TEST(Spmv, ZeroDimensionEdgeCases) {
+  CscMatrix<double> a(0, 0);
+  spmv<double>(a, nullptr, nullptr);  // must not crash
+  CscMatrix<double> b(3, 0);
+  std::vector<double> y(3, 1.0);
+  spmv<double>(b, nullptr, y.data());
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);  // beta=0 zeroes y
+}
+
+}  // namespace
+}  // namespace rsketch

@@ -1,0 +1,116 @@
+// George–Heath sparse Givens QR (the SuiteSparseQR stand-in): solution
+// accuracy against independent solvers, fill-in accounting, rank handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solvers/least_squares.hpp"
+#include "solvers/sparse_qr.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/ops.hpp"
+
+namespace rsketch {
+namespace {
+
+TEST(SparseQr, ExactOnConsistentSystem) {
+  const auto a = random_sparse<double>(50, 15, 0.25, 1);
+  std::vector<double> x_true(15);
+  for (index_t j = 0; j < 15; ++j) x_true[j] = 1.0 + 0.3 * j;
+  std::vector<double> b(50, 0.0);
+  spmv(a, x_true.data(), b.data());
+
+  const auto res = sparse_qr_least_squares(a, b.data());
+  EXPECT_EQ(res.rank, 15);
+  for (index_t j = 0; j < 15; ++j) EXPECT_NEAR(res.x[j], x_true[j], 1e-9);
+}
+
+TEST(SparseQr, LeastSquaresOptimality) {
+  const auto a = random_sparse<double>(200, 25, 0.1, 2);
+  const auto b = make_least_squares_rhs(a, 3);
+  const auto res = sparse_qr_least_squares(a, b.data());
+  // Direct method: error metric at machine-precision level.
+  EXPECT_LT(ls_error_metric(a, res.x, b), 1e-12);
+}
+
+TEST(SparseQr, ReorderingPreservesSolution) {
+  const auto a = random_sparse<double>(120, 20, 0.15, 4);
+  const auto b = make_least_squares_rhs(a, 5);
+  const auto with = sparse_qr_least_squares(a, b.data(), true);
+  const auto without = sparse_qr_least_squares(a, b.data(), false);
+  for (index_t j = 0; j < 20; ++j) {
+    EXPECT_NEAR(with.x[j], without.x[j],
+                1e-8 * (std::fabs(without.x[j]) + 1.0));
+  }
+}
+
+TEST(SparseQr, FillInReported) {
+  const auto a = random_sparse<double>(300, 40, 0.08, 6);
+  const auto b = make_least_squares_rhs(a, 7);
+  const auto res = sparse_qr_least_squares(a, b.data());
+  EXPECT_GT(res.r_nnz, 0);
+  EXPECT_GT(res.r_bytes, 0u);
+  // R is n×n upper triangular at most.
+  EXPECT_LE(res.r_nnz, 40 * 41 / 2);
+  EXPECT_GT(res.factor_seconds, 0.0);
+}
+
+TEST(SparseQr, StructurallyDeficientColumnGetsZero) {
+  // Column 2 entirely zero → basic solution with x[2] = 0.
+  CooMatrix<double> coo(6, 3);
+  coo.push(0, 0, 1.0);
+  coo.push(1, 0, 2.0);
+  coo.push(2, 1, 3.0);
+  coo.push(3, 1, 1.0);
+  const auto a = coo_to_csc(coo);
+  std::vector<double> b = {1.0, 2.0, 3.0, 1.0, 0.0, 0.0};
+  const auto res = sparse_qr_least_squares(a, b.data());
+  EXPECT_EQ(res.rank, 2);
+  EXPECT_DOUBLE_EQ(res.x[2], 0.0);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-12);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-12);
+}
+
+TEST(SparseQr, MatchesLsqrOnRandomProblem) {
+  const auto a = random_sparse<double>(150, 18, 0.2, 8);
+  const auto b = make_least_squares_rhs(a, 9);
+  const auto direct = sparse_qr_least_squares(a, b.data());
+  LsqrOptions opt;
+  opt.tol = 1e-14;
+  opt.max_iter = 5000;
+  const auto iter = lsqr_diag_precond(a, b, opt);
+  for (index_t j = 0; j < 18; ++j) {
+    EXPECT_NEAR(direct.x[j], iter.x[j],
+                1e-6 * (std::fabs(iter.x[j]) + 1.0));
+  }
+}
+
+TEST(SparseQr, WideInputThrows) {
+  const auto a = random_sparse<double>(5, 10, 0.3, 10);
+  std::vector<double> b(5, 1.0);
+  EXPECT_THROW(sparse_qr_least_squares(a, b.data()), invalid_argument_error);
+}
+
+TEST(SparseQr, DenseRowsCauseFill) {
+  // Abnormal_A-like: a few dense rows make R dense — fill-in must show up.
+  const auto a = abnormal_a<double>(100, 20, 10, 11);
+  std::vector<double> b(100, 1.0);
+  const auto res = sparse_qr_least_squares(a, b.data(), false);
+  // Dense rows rotate into a fully dense R: n(n+1)/2 entries.
+  EXPECT_GT(res.r_nnz, 20 * 21 / 4);
+}
+
+TEST(SparseQr, HandlesEmptyRows) {
+  CooMatrix<double> coo(8, 2);
+  coo.push(0, 0, 1.0);
+  coo.push(7, 1, 2.0);
+  const auto a = coo_to_csc(coo);
+  std::vector<double> b = {3.0, 9.0, 9.0, 9.0, 9.0, 9.0, 9.0, 4.0};
+  const auto res = sparse_qr_least_squares(a, b.data());
+  EXPECT_NEAR(res.x[0], 3.0, 1e-12);
+  EXPECT_NEAR(res.x[1], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rsketch

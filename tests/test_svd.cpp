@@ -1,0 +1,133 @@
+// One-sided Jacobi SVD: known spectra, reconstruction, ordering, and the
+// near-singular inputs SAP-SVD exists for.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dense/gemm.hpp"
+#include "rng/distributions.hpp"
+#include "solvers/svd.hpp"
+
+namespace rsketch {
+namespace {
+
+DenseMatrix<double> random_dense(index_t m, index_t n, std::uint64_t seed) {
+  SketchSampler<double> s(seed, Dist::Uniform, RngBackend::Xoshiro);
+  DenseMatrix<double> a(m, n);
+  for (index_t j = 0; j < n; ++j) s.fill(0, j, a.col(j), m);
+  return a;
+}
+
+TEST(Svd, DiagonalMatrixSpectrumExact) {
+  DenseMatrix<double> a(6, 4);
+  a(0, 0) = 3.0;
+  a(1, 1) = 7.0;
+  a(2, 2) = 1.0;
+  a(3, 3) = 5.0;
+  const auto svd = jacobi_svd(std::move(a));
+  ASSERT_EQ(svd.sigma.size(), 4u);
+  EXPECT_NEAR(svd.sigma[0], 7.0, 1e-12);
+  EXPECT_NEAR(svd.sigma[1], 5.0, 1e-12);
+  EXPECT_NEAR(svd.sigma[2], 3.0, 1e-12);
+  EXPECT_NEAR(svd.sigma[3], 1.0, 1e-12);
+}
+
+TEST(Svd, SigmaDescending) {
+  auto a = random_dense(40, 15, 7);
+  const auto svd = jacobi_svd(std::move(a));
+  for (std::size_t i = 1; i < svd.sigma.size(); ++i) {
+    EXPECT_GE(svd.sigma[i - 1], svd.sigma[i]);
+  }
+}
+
+TEST(Svd, VIsOrthogonal) {
+  auto a = random_dense(30, 10, 8);
+  const auto svd = jacobi_svd(std::move(a));
+  DenseMatrix<double> vtv(10, 10);
+  gemm(true, false, 1.0, svd.v, svd.v, 0.0, vtv);
+  for (index_t i = 0; i < 10; ++i) {
+    for (index_t j = 0; j < 10; ++j) {
+      EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Svd, ReconstructsWithU) {
+  const index_t m = 25, n = 8;
+  const auto orig = random_dense(m, n, 9);
+  DenseMatrix<double> copy(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) copy(i, j) = orig(i, j);
+  }
+  const auto svd = jacobi_svd(std::move(copy), /*want_u=*/true);
+
+  // A ≈ U Σ Vᵀ.
+  DenseMatrix<double> us(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) us(i, j) = svd.u(i, j) * svd.sigma[j];
+  }
+  DenseMatrix<double> rec(m, n);
+  gemm(false, true, 1.0, us, svd.v, 0.0, rec);
+  EXPECT_LT(rec.max_abs_diff(orig), 1e-9);
+}
+
+TEST(Svd, UHasOrthonormalColumns) {
+  auto a = random_dense(30, 6, 10);
+  const auto svd = jacobi_svd(std::move(a), true);
+  DenseMatrix<double> utu(6, 6);
+  gemm(true, false, 1.0, svd.u, svd.u, 0.0, utu);
+  for (index_t i = 0; i < 6; ++i) {
+    for (index_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(utu(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Svd, FrobeniusNormInvariant) {
+  auto a = random_dense(50, 20, 11);
+  const double fro = a.frobenius_norm();
+  const auto svd = jacobi_svd(std::move(a));
+  double s2 = 0.0;
+  for (double s : svd.sigma) s2 += s * s;
+  EXPECT_NEAR(std::sqrt(s2), fro, 1e-9);
+}
+
+TEST(Svd, DetectsNearSingularity) {
+  // Duplicate a column with a tiny perturbation: σ_min collapses.
+  DenseMatrix<double> a(20, 3);
+  SketchSampler<double> s(12, Dist::Uniform, RngBackend::Xoshiro);
+  s.fill(0, 0, a.col(0), 20);
+  s.fill(0, 1, a.col(1), 20);
+  for (index_t i = 0; i < 20; ++i) a(i, 2) = a(i, 0) * (1.0 + 1e-13);
+  const auto svd = jacobi_svd(std::move(a));
+  EXPECT_LT(svd.sigma[2] / svd.sigma[0], 1e-10);
+  EXPECT_GT(svd.sigma[1] / svd.sigma[0], 1e-4);
+}
+
+TEST(Svd, RankOneMatrix) {
+  DenseMatrix<double> a(10, 4);
+  for (index_t j = 0; j < 4; ++j) {
+    for (index_t i = 0; i < 10; ++i) {
+      a(i, j) = (i + 1.0) * (j + 1.0);
+    }
+  }
+  const auto svd = jacobi_svd(std::move(a));
+  EXPECT_GT(svd.sigma[0], 0.0);
+  for (std::size_t k = 1; k < 4; ++k) {
+    EXPECT_LT(svd.sigma[k] / svd.sigma[0], 1e-10);
+  }
+}
+
+TEST(Svd, WideThrows) {
+  DenseMatrix<double> a(3, 6);
+  EXPECT_THROW(jacobi_svd(std::move(a)), invalid_argument_error);
+}
+
+TEST(Svd, ConvergesInFewSweeps) {
+  auto a = random_dense(60, 25, 13);
+  const auto svd = jacobi_svd(std::move(a));
+  EXPECT_LE(svd.sweeps, 20);
+}
+
+}  // namespace
+}  // namespace rsketch

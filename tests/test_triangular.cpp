@@ -1,0 +1,88 @@
+// Triangular solves used by the SAP-QR preconditioner.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "solvers/triangular.hpp"
+
+namespace rsketch {
+namespace {
+
+DenseMatrix<double> upper_example() {
+  // R = [2 1 3; 0 4 1; 0 0 5]
+  DenseMatrix<double> r(3, 3);
+  r(0, 0) = 2;
+  r(0, 1) = 1;
+  r(0, 2) = 3;
+  r(1, 1) = 4;
+  r(1, 2) = 1;
+  r(2, 2) = 5;
+  return r;
+}
+
+TEST(Triangular, SolveUpper) {
+  const auto r = upper_example();
+  // Pick x, form b = R x, solve back.
+  std::vector<double> x = {1.0, -2.0, 3.0};
+  std::vector<double> b = {2 * 1 + 1 * -2 + 3 * 3, 4 * -2 + 1 * 3, 5 * 3};
+  solve_upper(r, b.data());
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(b[i], x[i], 1e-14);
+}
+
+TEST(Triangular, SolveUpperTranspose) {
+  const auto r = upper_example();
+  std::vector<double> x = {0.5, 2.0, -1.0};
+  // b = Rᵀ x.
+  std::vector<double> b = {2 * 0.5, 1 * 0.5 + 4 * 2.0,
+                           3 * 0.5 + 1 * 2.0 + 5 * -1.0};
+  solve_upper_transpose(r, b.data());
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(b[i], x[i], 1e-14);
+}
+
+TEST(Triangular, InverseRoundTrip) {
+  const auto r = upper_example();
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  std::vector<double> w = v;
+  solve_upper(r, w.data());  // w = R⁻¹ v
+  // Multiply back: R w should equal v.
+  std::vector<double> back(3, 0.0);
+  for (int j = 0; j < 3; ++j) {
+    for (int i = 0; i <= j; ++i) back[i] += r(i, j) * w[j];
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(back[i], v[i], 1e-13);
+}
+
+TEST(Triangular, AdjointConsistency) {
+  // <R⁻¹u, v> == <u, R⁻ᵀv>
+  const auto r = upper_example();
+  std::vector<double> u = {1.0, -1.0, 2.0}, v = {3.0, 0.5, -2.0};
+  std::vector<double> riu = u, rtv = v;
+  solve_upper(r, riu.data());
+  solve_upper_transpose(r, rtv.data());
+  double lhs = 0, rhs = 0;
+  for (int i = 0; i < 3; ++i) {
+    lhs += riu[i] * v[i];
+    rhs += u[i] * rtv[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-12);
+}
+
+TEST(Triangular, SingularDiagonalThrows) {
+  DenseMatrix<double> r(2, 2);
+  r(0, 0) = 1.0;
+  r(1, 1) = 0.0;
+  std::vector<double> b = {1.0, 1.0};
+  EXPECT_THROW(solve_upper(r, b.data()), invalid_argument_error);
+  EXPECT_THROW(solve_upper_transpose(r, b.data()), invalid_argument_error);
+}
+
+TEST(Triangular, OneByOne) {
+  DenseMatrix<double> r(1, 1);
+  r(0, 0) = 4.0;
+  std::vector<double> b = {8.0};
+  solve_upper(r, b.data());
+  EXPECT_DOUBLE_EQ(b[0], 2.0);
+}
+
+}  // namespace
+}  // namespace rsketch
