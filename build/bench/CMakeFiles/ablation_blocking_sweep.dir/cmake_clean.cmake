@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_blocking_sweep.dir/ablation_blocking_sweep.cpp.o"
+  "CMakeFiles/ablation_blocking_sweep.dir/ablation_blocking_sweep.cpp.o.d"
+  "ablation_blocking_sweep"
+  "ablation_blocking_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blocking_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

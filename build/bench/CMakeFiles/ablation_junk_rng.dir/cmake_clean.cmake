@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_junk_rng.dir/ablation_junk_rng.cpp.o"
+  "CMakeFiles/ablation_junk_rng.dir/ablation_junk_rng.cpp.o.d"
+  "ablation_junk_rng"
+  "ablation_junk_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_junk_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pattern_model.dir/ablation_pattern_model.cpp.o"
+  "CMakeFiles/ablation_pattern_model.dir/ablation_pattern_model.cpp.o.d"
+  "ablation_pattern_model"
+  "ablation_pattern_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pattern_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rng_throughput.dir/ablation_rng_throughput.cpp.o"
+  "CMakeFiles/ablation_rng_throughput.dir/ablation_rng_throughput.cpp.o.d"
+  "ablation_rng_throughput"
+  "ablation_rng_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rng_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

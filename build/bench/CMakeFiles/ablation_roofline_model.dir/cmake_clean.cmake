@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_roofline_model.dir/ablation_roofline_model.cpp.o"
+  "CMakeFiles/ablation_roofline_model.dir/ablation_roofline_model.cpp.o.d"
+  "ablation_roofline_model"
+  "ablation_roofline_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_roofline_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

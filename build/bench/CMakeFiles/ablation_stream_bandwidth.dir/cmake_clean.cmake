@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stream_bandwidth.dir/ablation_stream_bandwidth.cpp.o"
+  "CMakeFiles/ablation_stream_bandwidth.dir/ablation_stream_bandwidth.cpp.o.d"
+  "ablation_stream_bandwidth"
+  "ablation_stream_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stream_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

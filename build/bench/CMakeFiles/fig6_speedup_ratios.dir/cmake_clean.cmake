@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_speedup_ratios.dir/fig6_speedup_ratios.cpp.o"
+  "CMakeFiles/fig6_speedup_ratios.dir/fig6_speedup_ratios.cpp.o.d"
+  "fig6_speedup_ratios"
+  "fig6_speedup_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_speedup_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_ls_accuracy.dir/table10_ls_accuracy.cpp.o"
+  "CMakeFiles/table10_ls_accuracy.dir/table10_ls_accuracy.cpp.o.d"
+  "table10_ls_accuracy"
+  "table10_ls_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_ls_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

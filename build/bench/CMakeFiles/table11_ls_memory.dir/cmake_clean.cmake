@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_ls_memory.dir/table11_ls_memory.cpp.o"
+  "CMakeFiles/table11_ls_memory.dir/table11_ls_memory.cpp.o.d"
+  "table11_ls_memory"
+  "table11_ls_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_ls_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

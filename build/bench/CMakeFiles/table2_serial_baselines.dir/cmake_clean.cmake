@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_serial_baselines.dir/table2_serial_baselines.cpp.o"
+  "CMakeFiles/table2_serial_baselines.dir/table2_serial_baselines.cpp.o.d"
+  "table2_serial_baselines"
+  "table2_serial_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_serial_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_alg4_baselines.dir/table4_alg4_baselines.cpp.o"
+  "CMakeFiles/table4_alg4_baselines.dir/table4_alg4_baselines.cpp.o.d"
+  "table4_alg4_baselines"
+  "table4_alg4_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_alg4_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_sample_breakdown_p.dir/table5_sample_breakdown_p.cpp.o"
+  "CMakeFiles/table5_sample_breakdown_p.dir/table5_sample_breakdown_p.cpp.o.d"
+  "table5_sample_breakdown_p"
+  "table5_sample_breakdown_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_sample_breakdown_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_abnormal.dir/table6_abnormal.cpp.o"
+  "CMakeFiles/table6_abnormal.dir/table6_abnormal.cpp.o.d"
+  "table6_abnormal"
+  "table6_abnormal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_abnormal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_parallel_scaling.dir/table7_parallel_scaling.cpp.o"
+  "CMakeFiles/table7_parallel_scaling.dir/table7_parallel_scaling.cpp.o.d"
+  "table7_parallel_scaling"
+  "table7_parallel_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_parallel_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

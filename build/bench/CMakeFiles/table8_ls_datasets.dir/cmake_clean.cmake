@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_ls_datasets.dir/table8_ls_datasets.cpp.o"
+  "CMakeFiles/table8_ls_datasets.dir/table8_ls_datasets.cpp.o.d"
+  "table8_ls_datasets"
+  "table8_ls_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_ls_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_ls_runtime.dir/table9_ls_runtime.cpp.o"
+  "CMakeFiles/table9_ls_runtime.dir/table9_ls_runtime.cpp.o.d"
+  "table9_ls_runtime"
+  "table9_ls_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_ls_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

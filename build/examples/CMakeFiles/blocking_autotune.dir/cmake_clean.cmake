@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_autotune.dir/blocking_autotune.cpp.o"
+  "CMakeFiles/blocking_autotune.dir/blocking_autotune.cpp.o.d"
+  "blocking_autotune"
+  "blocking_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/least_squares_solver.dir/least_squares_solver.cpp.o"
+  "CMakeFiles/least_squares_solver.dir/least_squares_solver.cpp.o.d"
+  "least_squares_solver"
+  "least_squares_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/least_squares_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

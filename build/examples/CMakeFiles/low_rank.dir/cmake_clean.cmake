@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_rank.dir/low_rank.cpp.o"
+  "CMakeFiles/low_rank.dir/low_rank.cpp.o.d"
+  "low_rank"
+  "low_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

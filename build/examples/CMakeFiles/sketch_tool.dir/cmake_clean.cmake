@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_tool.dir/sketch_tool.cpp.o"
+  "CMakeFiles/sketch_tool.dir/sketch_tool.cpp.o.d"
+  "sketch_tool"
+  "sketch_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subspace_embedding.dir/subspace_embedding.cpp.o"
+  "CMakeFiles/subspace_embedding.dir/subspace_embedding.cpp.o.d"
+  "subspace_embedding"
+  "subspace_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subspace_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

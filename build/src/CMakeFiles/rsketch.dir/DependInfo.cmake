@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/machine.cpp" "src/CMakeFiles/rsketch.dir/analysis/machine.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/analysis/machine.cpp.o.d"
+  "/root/repo/src/analysis/pattern.cpp" "src/CMakeFiles/rsketch.dir/analysis/pattern.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/analysis/pattern.cpp.o.d"
+  "/root/repo/src/analysis/roofline.cpp" "src/CMakeFiles/rsketch.dir/analysis/roofline.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/analysis/roofline.cpp.o.d"
+  "/root/repo/src/dense/blas1.cpp" "src/CMakeFiles/rsketch.dir/dense/blas1.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/dense/blas1.cpp.o.d"
+  "/root/repo/src/dense/gemm.cpp" "src/CMakeFiles/rsketch.dir/dense/gemm.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/dense/gemm.cpp.o.d"
+  "/root/repo/src/rng/distributions.cpp" "src/CMakeFiles/rsketch.dir/rng/distributions.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/rng/distributions.cpp.o.d"
+  "/root/repo/src/rng/philox.cpp" "src/CMakeFiles/rsketch.dir/rng/philox.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/rng/philox.cpp.o.d"
+  "/root/repo/src/rng/xoshiro.cpp" "src/CMakeFiles/rsketch.dir/rng/xoshiro.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/rng/xoshiro.cpp.o.d"
+  "/root/repo/src/rng/xoshiro_batch.cpp" "src/CMakeFiles/rsketch.dir/rng/xoshiro_batch.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/rng/xoshiro_batch.cpp.o.d"
+  "/root/repo/src/sketch/autotune.cpp" "src/CMakeFiles/rsketch.dir/sketch/autotune.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/sketch/autotune.cpp.o.d"
+  "/root/repo/src/sketch/baselines.cpp" "src/CMakeFiles/rsketch.dir/sketch/baselines.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/sketch/baselines.cpp.o.d"
+  "/root/repo/src/sketch/kernel_jki.cpp" "src/CMakeFiles/rsketch.dir/sketch/kernel_jki.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/sketch/kernel_jki.cpp.o.d"
+  "/root/repo/src/sketch/kernel_kji.cpp" "src/CMakeFiles/rsketch.dir/sketch/kernel_kji.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/sketch/kernel_kji.cpp.o.d"
+  "/root/repo/src/sketch/outer_blocking.cpp" "src/CMakeFiles/rsketch.dir/sketch/outer_blocking.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/sketch/outer_blocking.cpp.o.d"
+  "/root/repo/src/sketch/sketch.cpp" "src/CMakeFiles/rsketch.dir/sketch/sketch.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/sketch/sketch.cpp.o.d"
+  "/root/repo/src/sketch/sketch_dense.cpp" "src/CMakeFiles/rsketch.dir/sketch/sketch_dense.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/sketch/sketch_dense.cpp.o.d"
+  "/root/repo/src/sketch/sketch_right.cpp" "src/CMakeFiles/rsketch.dir/sketch/sketch_right.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/sketch/sketch_right.cpp.o.d"
+  "/root/repo/src/sketch/streaming.cpp" "src/CMakeFiles/rsketch.dir/sketch/streaming.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/sketch/streaming.cpp.o.d"
+  "/root/repo/src/solvers/least_squares.cpp" "src/CMakeFiles/rsketch.dir/solvers/least_squares.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/solvers/least_squares.cpp.o.d"
+  "/root/repo/src/solvers/lsqr.cpp" "src/CMakeFiles/rsketch.dir/solvers/lsqr.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/solvers/lsqr.cpp.o.d"
+  "/root/repo/src/solvers/minimum_norm.cpp" "src/CMakeFiles/rsketch.dir/solvers/minimum_norm.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/solvers/minimum_norm.cpp.o.d"
+  "/root/repo/src/solvers/qr.cpp" "src/CMakeFiles/rsketch.dir/solvers/qr.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/solvers/qr.cpp.o.d"
+  "/root/repo/src/solvers/randomized_svd.cpp" "src/CMakeFiles/rsketch.dir/solvers/randomized_svd.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/solvers/randomized_svd.cpp.o.d"
+  "/root/repo/src/solvers/sap.cpp" "src/CMakeFiles/rsketch.dir/solvers/sap.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/solvers/sap.cpp.o.d"
+  "/root/repo/src/solvers/sparse_qr.cpp" "src/CMakeFiles/rsketch.dir/solvers/sparse_qr.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/solvers/sparse_qr.cpp.o.d"
+  "/root/repo/src/solvers/svd.cpp" "src/CMakeFiles/rsketch.dir/solvers/svd.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/solvers/svd.cpp.o.d"
+  "/root/repo/src/solvers/triangular.cpp" "src/CMakeFiles/rsketch.dir/solvers/triangular.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/solvers/triangular.cpp.o.d"
+  "/root/repo/src/sparse/blocked_csr.cpp" "src/CMakeFiles/rsketch.dir/sparse/blocked_csr.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/sparse/blocked_csr.cpp.o.d"
+  "/root/repo/src/sparse/convert.cpp" "src/CMakeFiles/rsketch.dir/sparse/convert.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/sparse/convert.cpp.o.d"
+  "/root/repo/src/sparse/generate.cpp" "src/CMakeFiles/rsketch.dir/sparse/generate.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/sparse/generate.cpp.o.d"
+  "/root/repo/src/sparse/matrix_market.cpp" "src/CMakeFiles/rsketch.dir/sparse/matrix_market.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/sparse/matrix_market.cpp.o.d"
+  "/root/repo/src/sparse/ops.cpp" "src/CMakeFiles/rsketch.dir/sparse/ops.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/sparse/ops.cpp.o.d"
+  "/root/repo/src/support/cli.cpp" "src/CMakeFiles/rsketch.dir/support/cli.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/support/cli.cpp.o.d"
+  "/root/repo/src/support/env.cpp" "src/CMakeFiles/rsketch.dir/support/env.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/support/env.cpp.o.d"
+  "/root/repo/src/support/memory_tracker.cpp" "src/CMakeFiles/rsketch.dir/support/memory_tracker.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/support/memory_tracker.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/rsketch.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/support/table.cpp.o.d"
+  "/root/repo/src/testdata/replicas.cpp" "src/CMakeFiles/rsketch.dir/testdata/replicas.cpp.o" "gcc" "src/CMakeFiles/rsketch.dir/testdata/replicas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocked_csr.dir/test_blocked_csr.cpp.o"
+  "CMakeFiles/test_blocked_csr.dir/test_blocked_csr.cpp.o.d"
+  "test_blocked_csr"
+  "test_blocked_csr.pdb"
+  "test_blocked_csr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocked_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_factorization_sweeps.dir/test_factorization_sweeps.cpp.o"
+  "CMakeFiles/test_factorization_sweeps.dir/test_factorization_sweeps.cpp.o.d"
+  "test_factorization_sweeps"
+  "test_factorization_sweeps.pdb"
+  "test_factorization_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_factorization_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minimum_norm.dir/test_minimum_norm.cpp.o"
+  "CMakeFiles/test_minimum_norm.dir/test_minimum_norm.cpp.o.d"
+  "test_minimum_norm"
+  "test_minimum_norm.pdb"
+  "test_minimum_norm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minimum_norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rng_batch.dir/test_rng_batch.cpp.o"
+  "CMakeFiles/test_rng_batch.dir/test_rng_batch.cpp.o.d"
+  "test_rng_batch"
+  "test_rng_batch.pdb"
+  "test_rng_batch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rng_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

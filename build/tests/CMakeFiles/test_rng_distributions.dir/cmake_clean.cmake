@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rng_distributions.dir/test_rng_distributions.cpp.o"
+  "CMakeFiles/test_rng_distributions.dir/test_rng_distributions.cpp.o.d"
+  "test_rng_distributions"
+  "test_rng_distributions.pdb"
+  "test_rng_distributions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rng_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rng_philox.dir/test_rng_philox.cpp.o"
+  "CMakeFiles/test_rng_philox.dir/test_rng_philox.cpp.o.d"
+  "test_rng_philox"
+  "test_rng_philox.pdb"
+  "test_rng_philox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rng_philox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

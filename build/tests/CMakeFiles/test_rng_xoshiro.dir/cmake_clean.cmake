@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rng_xoshiro.dir/test_rng_xoshiro.cpp.o"
+  "CMakeFiles/test_rng_xoshiro.dir/test_rng_xoshiro.cpp.o.d"
+  "test_rng_xoshiro"
+  "test_rng_xoshiro.pdb"
+  "test_rng_xoshiro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rng_xoshiro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sketch_api.dir/test_sketch_api.cpp.o"
+  "CMakeFiles/test_sketch_api.dir/test_sketch_api.cpp.o.d"
+  "test_sketch_api"
+  "test_sketch_api.pdb"
+  "test_sketch_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sketch_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sketch_right.dir/test_sketch_right.cpp.o"
+  "CMakeFiles/test_sketch_right.dir/test_sketch_right.cpp.o.d"
+  "test_sketch_right"
+  "test_sketch_right.pdb"
+  "test_sketch_right[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sketch_right.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

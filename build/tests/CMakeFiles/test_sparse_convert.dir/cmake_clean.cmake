@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_convert.dir/test_sparse_convert.cpp.o"
+  "CMakeFiles/test_sparse_convert.dir/test_sparse_convert.cpp.o.d"
+  "test_sparse_convert"
+  "test_sparse_convert.pdb"
+  "test_sparse_convert[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_csc.dir/test_sparse_csc.cpp.o"
+  "CMakeFiles/test_sparse_csc.dir/test_sparse_csc.cpp.o.d"
+  "test_sparse_csc"
+  "test_sparse_csc.pdb"
+  "test_sparse_csc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_csc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

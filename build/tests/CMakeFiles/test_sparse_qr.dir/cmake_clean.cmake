@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_qr.dir/test_sparse_qr.cpp.o"
+  "CMakeFiles/test_sparse_qr.dir/test_sparse_qr.cpp.o.d"
+  "test_sparse_qr"
+  "test_sparse_qr.pdb"
+  "test_sparse_qr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
