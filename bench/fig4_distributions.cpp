@@ -46,6 +46,14 @@ int main() {
   const double peak = estimate_peak_gflops();
   std::printf("Calibrated achievable peak (L1 axpy): %.2f GFlop/s\n\n", peak);
 
+  auto report = bench::make_report("fig4_distributions");
+  report.config("m", static_cast<long long>(m));
+  report.config("n", static_cast<long long>(n));
+  report.config("d", static_cast<long long>(d));
+  report.config("kernel", "jki");
+  report.derived("calibrated_peak_gflops", peak);
+  bench::HwScope hw(report);
+
   const double densities[] = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2};
 
   Table t("Percent of calibrated peak (this repo; paper Fig. 4 shape):");
@@ -64,8 +72,11 @@ int main() {
     auto run_fly = [&](Dist dist) {
       cfg.dist = dist;
       DenseMatrix<float> a_hat(d, n);
+      SketchStats last;
       const double secs =
-          bench::time_best(reps, [&] { sketch_into(cfg, a, a_hat); });
+          bench::time_best(reps, [&] { last = sketch_into(cfg, a, a_hat); });
+      report.timing("rho=" + fmt_sci(rho) + "/" + to_string(dist) + "_fly",
+                    secs, last);
       return flops / secs / 1e9 / peak * 100.0;
     };
 
@@ -80,6 +91,7 @@ int main() {
     DenseMatrix<float> out;
     const double secs_pre =
         bench::time_best(reps, [&] { baseline_eigen_style(s, a, out); });
+    report.timing("rho=" + fmt_sci(rho) + "/pregen", secs_pre);
     const double p_pre = flops / secs_pre / 1e9 / peak * 100.0;
 
     t.add_row({fmt_sci(rho), fmt_fixed(p_gauss, 1), fmt_fixed(p_pre, 1),
@@ -91,5 +103,7 @@ int main() {
       "rest; the three cheap on-the-fly strategies beat pre-generated S; "
       "+-1 is the fastest.");
   std::printf("%s\n", t.render().c_str());
+  hw.finish();
+  report.write();
   return 0;
 }

@@ -46,6 +46,9 @@ int main() {
   }
   std::printf("%s\n", paper.render().c_str());
 
+  auto report = bench::make_report("table2_serial_baselines");
+  bench::HwScope hw(report);
+
   Table ours("This repo (seconds; S generation excluded for baselines):");
   ours.set_header({"Matrices", "MKL-style", "Eigen-style", "Julia-style",
                    "Alg3 (-1,1)", "Alg3 (+-1)", "Alg3 speedup vs best lib"});
@@ -71,11 +74,17 @@ int main() {
         reps, [&] { baseline_mkl_style(st, a, cfg.d, out_t); });
 
     DenseMatrix<float> a_hat(cfg.d, a.cols());
+    SketchStats last;
     const double t_alg3_u =
-        bench::time_best(reps, [&] { sketch_into(cfg, a, a_hat); });
+        bench::time_best(reps, [&] { last = sketch_into(cfg, a, a_hat); });
+    report.timing(std::string(info.name) + "/alg3_uniform", t_alg3_u, last);
     cfg.dist = Dist::PmOne;
     const double t_alg3_pm =
-        bench::time_best(reps, [&] { sketch_into(cfg, a, a_hat); });
+        bench::time_best(reps, [&] { last = sketch_into(cfg, a, a_hat); });
+    report.timing(std::string(info.name) + "/alg3_pm1", t_alg3_pm, last);
+    report.timing(std::string(info.name) + "/mkl_style", t_mkl);
+    report.timing(std::string(info.name) + "/eigen_style", t_eigen);
+    report.timing(std::string(info.name) + "/julia_style", t_julia);
 
     const double best_lib = std::min({t_mkl, t_eigen, t_julia});
     ours.add_row({info.name, fmt_time(t_mkl), fmt_time(t_eigen),
@@ -86,5 +95,7 @@ int main() {
       "Shape check: Alg3 beats every pre-generated-S baseline, and +-1 beats "
       "(-1,1) (paper sees 2-3x).");
   std::printf("%s\n", ours.render().c_str());
+  hw.finish();
+  report.write();
   return 0;
 }

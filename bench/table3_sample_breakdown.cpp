@@ -46,6 +46,9 @@ int main() {
   }
   std::printf("%s\n", paper.render().c_str());
 
+  auto report = bench::make_report("table3_sample_breakdown");
+  bench::HwScope hw(report);
+
   Table ours("This repo (seconds, instrumented runs):");
   ours.set_header({"Matrices", "Algorithm", "total time", "sample time",
                    "samples generated"});
@@ -67,6 +70,9 @@ int main() {
         const auto stats = sketch_into(cfg, a, a_hat, /*instrument=*/true);
         if (stats.total_seconds < best.total_seconds) best = stats;
       }
+      report.timing(std::string(info.name) +
+                        (kernel == KernelVariant::Kji ? "/alg3" : "/alg4"),
+                    best.total_seconds, best);
       ours.add_row({info.name,
                     kernel == KernelVariant::Kji ? "Algorithm 3"
                                                  : "Algorithm 4",
@@ -80,5 +86,7 @@ int main() {
       "Shape check: Alg4's sample time is a small fraction of Alg3's "
       "(paper: ~2x fewer seconds, far fewer samples).");
   std::printf("%s\n", ours.render().c_str());
+  hw.finish();
+  report.write();
   return 0;
 }

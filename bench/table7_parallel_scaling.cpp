@@ -57,6 +57,12 @@ int main() {
   const auto a = make_spmm_replica<float>("shar_te2-b2", scale);
   const index_t d = spmm_replica_d("shar_te2-b2", scale);
 
+  auto report = bench::make_report("table7_parallel_scaling");
+  report.config("matrix", "shar_te2-b2");
+  report.config("d", static_cast<long long>(d));
+  report.config("max_threads", static_cast<long long>(max_threads));
+  bench::HwScope hw(report);
+
   struct Setup {
     index_t bd, bn;
   };
@@ -89,6 +95,11 @@ int main() {
           const auto st = sketch_into(cfg, a, a_hat);
           if (st.total_seconds < best.total_seconds) best = st;
         }
+        report.timing("threads=" + std::to_string(threads) + "/bd=" +
+                          std::to_string(setup.bd) + ",bn=" +
+                          std::to_string(setup.bn) +
+                          (kernel == KernelVariant::Jki ? "/alg4" : "/alg3"),
+                      best.total_seconds, best);
         row.push_back(fmt_time(best.total_seconds));
         row.push_back(fmt_fixed(best.gflops, 2));
       }
@@ -104,5 +115,7 @@ int main() {
                 omp_get_num_procs());
   ours.set_footnote(note);
   std::printf("%s\n", ours.render().c_str());
+  hw.finish();
+  report.write();
   return 0;
 }

@@ -9,6 +9,8 @@
 #include <fstream>
 #include <string>
 
+#include "perf/perf_events.hpp"
+#include "perf/report.hpp"
 #include "sketch/autotune.hpp"
 #include "sketch/sketch.hpp"
 #include "solvers/least_squares.hpp"
@@ -86,11 +88,35 @@ int cmd_sketch(const CliArgs& args, const CscMatrix<double>& a) {
               static_cast<long long>(cfg.block_d),
               static_cast<long long>(cfg.block_n));
 
+  perf::ReportBuilder report("sketch_tool");
+  report.config("in", args.get("in", ""));
+  report.config("out", out_path);
+  report.config("d", static_cast<long long>(cfg.d));
+  report.config("dist", to_string(cfg.dist));
+  report.config("kernel", to_string(cfg.kernel));
+  report.config("block_d", static_cast<long long>(cfg.block_d));
+  report.config("block_n", static_cast<long long>(cfg.block_n));
+  perf::PerfEventGroup hw;
+  if (report.active()) hw.start();
+
   DenseMatrix<double> a_hat;
   const auto stats = sketch_into(cfg, a, a_hat);
+
+  if (report.active()) {
+    hw.stop();
+    report.hardware(hw.read());
+    report.timing("sketch", stats.total_seconds, stats);
+  }
   std::printf("done in %.3f s (%.2f GFlop/s, %llu samples on the fly)\n",
               stats.total_seconds, stats.gflops,
               static_cast<unsigned long long>(stats.samples_generated));
+  if (report.active()) {
+    std::printf("measured intensity: %.2f flops/element "
+                "(%llu nonzeros processed)\n",
+                stats.measured_intensity(),
+                static_cast<unsigned long long>(stats.counters.nnz_processed));
+    report.write();
+  }
 
   // Emit the dense sketch in coordinate form for interoperability.
   CooMatrix<double> coo(a_hat.rows(), a_hat.cols());
@@ -118,15 +144,29 @@ int cmd_solve(const CliArgs& args, CscMatrix<double> a) {
   opt.factor = args.has("svd") ? SapFactor::SVD : SapFactor::QR;
   opt.gamma = args.get_double("gamma", 2.0);
   const auto res = sap_solve(a, b, opt);
+  // Peak workspace sits next to the phase timings so the numbers printed
+  // here are the exact MemoryTracker accounting Table XI reports.
   std::printf("SAP-%s: %.3f s (sketch %.3f, factor %.3f, LSQR %.3f), "
-              "%lld iterations\n",
+              "%lld iterations, peak workspace %.2f MB\n",
               opt.factor == SapFactor::SVD ? "SVD" : "QR", res.total_seconds,
               res.sketch_seconds, res.factor_seconds, res.lsqr_seconds,
-              static_cast<long long>(res.iterations));
+              static_cast<long long>(res.iterations),
+              static_cast<double>(res.workspace_bytes) / 1e6);
   std::printf("error metric ||A'(Ax-b)||/(||A||_F ||Ax-b||) = %.3e\n",
               ls_error_metric(a, res.x, b));
-  std::printf("workspace: %.2f MB\n",
-              static_cast<double>(res.workspace_bytes) / 1e6);
+
+  perf::ReportBuilder report("sketch_tool_solve");
+  report.config("in", args.get("in", ""));
+  report.config("factor", opt.factor == SapFactor::SVD ? "svd" : "qr");
+  report.config("gamma", opt.gamma);
+  report.timing("sketch", res.sketch_seconds);
+  report.timing("factor", res.factor_seconds);
+  report.timing("lsqr", res.lsqr_seconds);
+  report.timing("total", res.total_seconds);
+  report.counter("lsqr_iterations",
+                 static_cast<std::uint64_t>(res.iterations));
+  report.counter("peak_workspace_bytes", res.workspace_bytes);
+  report.write();
   std::printf("x[0..%d] =", static_cast<int>(std::min<index_t>(5, a.cols())));
   for (index_t j = 0; j < std::min<index_t>(5, a.cols()); ++j) {
     std::printf(" %.6g", res.x[static_cast<std::size_t>(j)]);

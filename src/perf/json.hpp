@@ -1,0 +1,104 @@
+// Minimal self-contained JSON document model: build, serialize, parse.
+//
+// Exists so the telemetry reports need no external dependency. Supports the
+// subset the BENCH_*.json schema uses — objects (insertion-ordered), arrays,
+// strings, numbers (with exact integer round-trip), booleans, null. The
+// parser accepts standard JSON (it is the round-trip check for the emitter
+// and the validator behind the `smoke` ctest label).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rsketch::perf {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}  // NOLINT(runtime/explicit)
+  Json(int v) : type_(Type::Int), int_(v) {}
+  Json(unsigned int v) : type_(Type::Int), int_(v) {}
+  Json(long v) : type_(Type::Int), int_(v) {}
+  Json(unsigned long v) : type_(Type::Int), int_(static_cast<long long>(v)) {}
+  Json(long long v) : type_(Type::Int), int_(v) {}
+  Json(unsigned long long v)
+      : type_(Type::Int), int_(static_cast<long long>(v)) {}
+  Json(double v) : type_(Type::Double), double_(v) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Int || type_ == Type::Double; }
+  bool is_int() const { return type_ == Type::Int; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool() const { return bool_; }
+  long long as_int() const {
+    return type_ == Type::Double ? static_cast<long long>(double_) : int_;
+  }
+  double as_double() const {
+    return type_ == Type::Int ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return str_; }
+
+  /// Object access; inserts a null member when `key` is absent. Converts a
+  /// Null value into an Object on first use (builder convenience).
+  Json& operator[](const std::string& key);
+
+  /// Array append. Converts a Null value into an Array on first use.
+  void push_back(Json v);
+
+  std::size_t size() const {
+    return type_ == Type::Array ? arr_.size() : obj_.size();
+  }
+  bool contains(const std::string& key) const { return find(key) != nullptr; }
+
+  /// Object lookup; nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+
+  /// Array element access (valid index required).
+  const Json& at(std::size_t i) const { return arr_[i]; }
+
+  /// Insertion-ordered object members.
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return obj_;
+  }
+
+  /// Serialize. indent <= 0 renders compact single-line JSON.
+  std::string dump(int indent = 2) const;
+
+  /// Parse standard JSON. Throws rsketch::io_error on malformed input.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  long long int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace rsketch::perf

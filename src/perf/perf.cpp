@@ -1,0 +1,164 @@
+#include "perf/perf.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace rsketch::perf {
+
+namespace {
+
+bool env_toggle() {
+  const char* v = std::getenv("RSKETCH_PERF");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+std::atomic<bool> g_enabled{env_toggle()};
+
+/// One thread's private accumulation state. Plain (non-atomic) fields: only
+/// the owning thread writes, and snapshot()/reset() run when no instrumented
+/// region is active (documented contract).
+struct ThreadRecord {
+  std::array<std::uint64_t, kNumCounters> counters{};
+  std::map<std::string, SpanStat> spans;
+
+  void merge_into(Snapshot& out) const {
+    for (int i = 0; i < kNumCounters; ++i) out.counters[static_cast<std::size_t>(i)] += counters[static_cast<std::size_t>(i)];
+    for (const auto& [name, st] : spans) {
+      auto& dst = out.spans[name];
+      dst.count += st.count;
+      dst.seconds += st.seconds;
+    }
+  }
+
+  void clear() {
+    counters.fill(0);
+    spans.clear();
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<ThreadRecord*> live;
+  // Counts merged from threads that have already exited.
+  ThreadRecord retired;
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+};
+
+/// Registers the thread's record on first use; merges it into `retired` and
+/// deregisters on thread exit (merge-on-join).
+struct ThreadRecordHolder {
+  ThreadRecord rec;
+
+  ThreadRecordHolder() {
+    Registry& reg = Registry::instance();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.live.push_back(&rec);
+  }
+
+  ~ThreadRecordHolder() {
+    Registry& reg = Registry::instance();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (int i = 0; i < kNumCounters; ++i) {
+      reg.retired.counters[static_cast<std::size_t>(i)] +=
+          rec.counters[static_cast<std::size_t>(i)];
+    }
+    for (const auto& [name, st] : rec.spans) {
+      auto& dst = reg.retired.spans[name];
+      dst.count += st.count;
+      dst.seconds += st.seconds;
+    }
+    reg.live.erase(std::remove(reg.live.begin(), reg.live.end(), &rec),
+                   reg.live.end());
+  }
+};
+
+ThreadRecord& local_record() {
+  thread_local ThreadRecordHolder holder;
+  return holder.rec;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::RngSamples: return "rng_samples";
+    case Counter::NnzProcessed: return "nnz_processed";
+    case Counter::Flops: return "flops";
+    case Counter::ElemsMoved: return "elems_moved";
+    case Counter::BytesMoved: return "bytes_moved";
+    case Counter::BytesGenerated: return "bytes_generated";
+    case Counter::KernelBlocks: return "kernel_blocks";
+    case Counter::SketchCalls: return "sketch_calls";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+void add(Counter c, std::uint64_t v) {
+  if (!enabled()) return;
+  local_record().counters[static_cast<std::size_t>(c)] += v;
+}
+
+void add(const KernelCounters& kc) {
+  if (!enabled()) return;
+  auto& counters = local_record().counters;
+  counters[static_cast<std::size_t>(Counter::RngSamples)] += kc.rng_samples;
+  counters[static_cast<std::size_t>(Counter::NnzProcessed)] += kc.nnz_processed;
+  counters[static_cast<std::size_t>(Counter::Flops)] += kc.flops;
+  counters[static_cast<std::size_t>(Counter::ElemsMoved)] += kc.elems_moved;
+  counters[static_cast<std::size_t>(Counter::BytesMoved)] += kc.bytes_moved;
+  counters[static_cast<std::size_t>(Counter::BytesGenerated)] +=
+      kc.bytes_generated;
+  counters[static_cast<std::size_t>(Counter::KernelBlocks)] += kc.kernel_blocks;
+}
+
+void add_span(const std::string& name, double seconds, std::uint64_t count) {
+  if (!enabled()) return;
+  auto& st = local_record().spans[name];
+  st.count += count;
+  st.seconds += seconds;
+}
+
+Span::Span(const char* name) : name_(name), armed_(enabled()) {
+  if (armed_) start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  auto& st = local_record().spans[name_];
+  st.count += 1;
+  st.seconds += secs;
+}
+
+Snapshot snapshot() {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  Snapshot out;
+  reg.retired.merge_into(out);
+  for (const ThreadRecord* rec : reg.live) rec->merge_into(out);
+  return out;
+}
+
+void reset() {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.retired.clear();
+  for (ThreadRecord* rec : reg.live) rec->clear();
+}
+
+}  // namespace rsketch::perf

@@ -1,0 +1,96 @@
+// Scoped-counter / span telemetry core (RSKETCH_PERF).
+//
+// Design: every thread accumulates into a thread-local record (no atomics on
+// the hot path); records are registered in a global registry and merged on
+// snapshot() or when the thread exits (merge-on-join). With the toggle off,
+// add()/Span compile down to one predictable branch on a cached flag, and the
+// kernels skip counter collection entirely — tier-1 timings are unaffected.
+//
+// Enable with RSKETCH_PERF=1 (any value other than "" / "0"), or at runtime
+// via set_enabled(true) (tests, tools). See docs/OBSERVABILITY.md for the
+// counter catalog and the JSON report schema built on top of this.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "perf/counters.hpp"
+
+namespace rsketch::perf {
+
+/// Whether telemetry collection is on (RSKETCH_PERF env, overridable).
+bool enabled();
+
+/// Runtime override of the env toggle (tests and tools).
+void set_enabled(bool on);
+
+/// Global software-counter catalog. Keep counter_name() in sync.
+enum class Counter : int {
+  RngSamples = 0,  ///< entries of S generated on the fly
+  NnzProcessed,    ///< entries of A streamed (once per block row of S)
+  Flops,           ///< useful flops (2 per nonzero per sketch row)
+  ElemsMoved,      ///< elements of A and Â read or written
+  BytesMoved,      ///< the same traffic in bytes (values + indices)
+  BytesGenerated,  ///< bytes of S produced (never stored)
+  KernelBlocks,    ///< kernel invocations (outer block pairs)
+  SketchCalls,     ///< top-level sketch_into / streaming_sketch calls
+  kCount
+};
+
+inline constexpr int kNumCounters = static_cast<int>(Counter::kCount);
+
+/// Stable snake_case name used as the JSON key.
+const char* counter_name(Counter c);
+
+/// Add `v` to counter `c` in this thread's record. No-op when disabled.
+void add(Counter c, std::uint64_t v);
+
+/// Bulk-add a kernel-counter aggregate onto the global catalog.
+void add(const KernelCounters& kc);
+
+/// Aggregated statistics of one named span.
+struct SpanStat {
+  std::uint64_t count = 0;
+  double seconds = 0.0;
+};
+
+/// Record `seconds` (over `count` executions) under span `name` directly —
+/// used to fold externally measured intervals (e.g. the kernels' sample
+/// timers) into the span table. No-op when disabled.
+void add_span(const std::string& name, double seconds, std::uint64_t count = 1);
+
+/// RAII wall-clock span: records elapsed time under `name` on destruction.
+/// `name` must outlive the span (string literals).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Point-in-time merge of every thread's record (live threads included).
+struct Snapshot {
+  std::array<std::uint64_t, kNumCounters> counters{};
+  std::map<std::string, SpanStat> spans;
+
+  std::uint64_t get(Counter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+};
+
+Snapshot snapshot();
+
+/// Zero every thread record and the retired accumulator. Only call when no
+/// instrumented region is concurrently running.
+void reset();
+
+}  // namespace rsketch::perf

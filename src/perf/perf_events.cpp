@@ -1,0 +1,108 @@
+#include "perf/perf_events.hpp"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace rsketch::perf {
+
+#ifdef __linux__
+
+namespace {
+
+long perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                     unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+int open_event(std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // leader starts disabled
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.inherit = 0;
+  attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(
+      perf_event_open(&attr, /*pid=*/0, /*cpu=*/-1, group_fd, 0));
+}
+
+/// Read one fd with multiplexing scaling; returns false on short read.
+bool read_scaled(int fd, std::uint64_t* value, double* scale) {
+  if (fd < 0) return false;
+  std::uint64_t buf[3] = {0, 0, 0};  // value, time_enabled, time_running
+  const ssize_t got = ::read(fd, buf, sizeof buf);
+  if (got != static_cast<ssize_t>(sizeof buf)) return false;
+  double s = 1.0;
+  if (buf[2] > 0 && buf[2] < buf[1]) {
+    s = static_cast<double>(buf[1]) / static_cast<double>(buf[2]);
+  }
+  *value = static_cast<std::uint64_t>(static_cast<double>(buf[0]) * s);
+  if (scale != nullptr) *scale = s;
+  return true;
+}
+
+}  // namespace
+
+PerfEventGroup::PerfEventGroup() {
+  fds_[0] = open_event(PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (fds_[0] < 0) {
+    error_ = std::string("perf_event_open(cycles): ") + std::strerror(errno);
+    return;
+  }
+  leader_fd_ = fds_[0];
+  // Siblings are best-effort: a PMU without an LLC event keeps the rest.
+  fds_[1] = open_event(PERF_COUNT_HW_INSTRUCTIONS, leader_fd_);
+  fds_[2] = open_event(PERF_COUNT_HW_CACHE_REFERENCES, leader_fd_);
+  fds_[3] = open_event(PERF_COUNT_HW_CACHE_MISSES, leader_fd_);
+}
+
+PerfEventGroup::~PerfEventGroup() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void PerfEventGroup::start() {
+  if (!available()) return;
+  ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+void PerfEventGroup::stop() {
+  if (!available()) return;
+  ioctl(leader_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+}
+
+HwCounters PerfEventGroup::read() const {
+  HwCounters out;
+  if (!available()) return out;
+  if (!read_scaled(fds_[0], &out.cycles, &out.multiplex_scale)) return out;
+  read_scaled(fds_[1], &out.instructions, nullptr);
+  read_scaled(fds_[2], &out.cache_references, nullptr);
+  read_scaled(fds_[3], &out.cache_misses, nullptr);
+  out.valid = true;
+  return out;
+}
+
+#else  // !__linux__
+
+PerfEventGroup::PerfEventGroup() : error_("perf_event_open: not Linux") {}
+PerfEventGroup::~PerfEventGroup() = default;
+void PerfEventGroup::start() {}
+void PerfEventGroup::stop() {}
+HwCounters PerfEventGroup::read() const { return HwCounters{}; }
+
+#endif
+
+}  // namespace rsketch::perf

@@ -1,0 +1,66 @@
+// Hardware performance counters via Linux perf_event_open, with graceful
+// fallback when the syscall is unavailable or forbidden (non-Linux builds,
+// unprivileged containers, kernel.perf_event_paranoid >= 3, seccomp).
+//
+// The group counts this process on any CPU: cycles, retired instructions,
+// last-level-cache references and misses (the DRAM-traffic proxy used to
+// cross-check the roofline model). Counters may be multiplexed by the
+// kernel; readings are scaled by time_enabled/time_running as usual.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rsketch::perf {
+
+/// One reading of the hardware group. `valid` is false when the backend is
+/// unavailable — consumers must treat every other field as meaningless then.
+struct HwCounters {
+  bool valid = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;  ///< LLC references (DRAM-traffic proxy)
+  std::uint64_t cache_misses = 0;      ///< LLC misses
+  double multiplex_scale = 1.0;  ///< time_enabled/time_running of the leader
+
+  double ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+};
+
+/// A process-wide group of the four hardware events above.
+///
+/// Usage: construct, start() before the measured region, stop() after,
+/// read() for scaled totals. Every method is safe to call when the backend
+/// failed to open — they become no-ops and read() returns valid == false.
+class PerfEventGroup {
+ public:
+  PerfEventGroup();
+  ~PerfEventGroup();
+  PerfEventGroup(const PerfEventGroup&) = delete;
+  PerfEventGroup& operator=(const PerfEventGroup&) = delete;
+
+  /// True when at least the cycle counter opened successfully.
+  bool available() const { return leader_fd_ >= 0; }
+
+  /// Human-readable reason the group is unavailable ("" when available).
+  const std::string& error() const { return error_; }
+
+  /// Reset and enable the group (no-op when unavailable).
+  void start();
+
+  /// Disable the group (no-op when unavailable).
+  void stop();
+
+  /// Scaled totals since the last start(). valid == available().
+  HwCounters read() const;
+
+ private:
+  int leader_fd_ = -1;
+  int fds_[4] = {-1, -1, -1, -1};  // cycles, instructions, llc refs, misses
+  std::string error_;
+};
+
+}  // namespace rsketch::perf

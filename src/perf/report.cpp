@@ -1,0 +1,314 @@
+#include "perf/report.hpp"
+
+#include <omp.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/machine.hpp"
+#include "analysis/roofline.hpp"
+#include "support/env.hpp"
+
+namespace rsketch::perf {
+
+namespace {
+
+std::string iso8601_utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+}  // namespace
+
+Json machine_info_json(bool probe_bandwidth) {
+  Json m = Json::object();
+  char host[256] = {0};
+  if (gethostname(host, sizeof host - 1) != 0) host[0] = '\0';
+  m["hostname"] = std::string(host);
+  m["logical_cpus"] = static_cast<long long>(sysconf(_SC_NPROCESSORS_ONLN));
+  m["omp_max_threads"] = static_cast<long long>(omp_get_max_threads());
+  m["cache_bytes"] = static_cast<long long>(detect_cache_bytes());
+#ifdef __VERSION__
+  m["compiler"] = std::string(__VERSION__);
+#endif
+#ifdef __linux__
+  m["os"] = "linux";
+#endif
+  if (probe_bandwidth || env_int("RSKETCH_PERF_MACHINE", 0) != 0) {
+    // Small STREAM pass (cache-busting but quick) + the paper's h for the
+    // default sampler, so reports carry what the roofline model needs.
+    const StreamResult stream = stream_benchmark(1 << 21, 2);
+    m["stream_copy_gbps"] = stream.copy_gbps;
+    m["stream_triad_gbps"] = stream.triad_gbps;
+    m["h_uniform_xoshiro_batch"] =
+        measure_h(Dist::Uniform, RngBackend::XoshiroBatch, stream);
+    m["h_pm1_xoshiro_batch"] =
+        measure_h(Dist::PmOne, RngBackend::XoshiroBatch, stream);
+  }
+  return m;
+}
+
+ReportBuilder::ReportBuilder(std::string name)
+    : active_(enabled()), name_(std::move(name)) {}
+
+void ReportBuilder::config(const std::string& key, const std::string& value) {
+  if (active_) config_[key] = value;
+}
+void ReportBuilder::config(const std::string& key, const char* value) {
+  if (active_) config_[key] = std::string(value);
+}
+void ReportBuilder::config(const std::string& key, double value) {
+  if (active_) config_[key] = value;
+}
+void ReportBuilder::config(const std::string& key, long long value) {
+  if (active_) config_[key] = value;
+}
+
+void ReportBuilder::timing(const std::string& label, double seconds) {
+  if (!active_) return;
+  Json row = Json::object();
+  row["label"] = label;
+  row["seconds"] = seconds;
+  timings_.push_back(std::move(row));
+}
+
+void ReportBuilder::timing(const std::string& label, double seconds,
+                           const SketchStats& stats) {
+  if (!active_) return;
+  totals_.merge(stats.counters);
+  Json row = Json::object();
+  row["label"] = label;
+  row["seconds"] = seconds;
+  row["sample_seconds"] = stats.sample_seconds;
+  row["convert_seconds"] = stats.convert_seconds;
+  row["gflops"] = stats.gflops;
+  row["rng_samples"] = stats.samples_generated;
+  row["nnz_processed"] = stats.counters.nnz_processed;
+  row["intensity_flops_per_elem"] = stats.counters.intensity_per_element();
+  timings_.push_back(std::move(row));
+}
+
+void ReportBuilder::add_counters(const KernelCounters& kc) {
+  if (active_) totals_.merge(kc);
+}
+
+void ReportBuilder::counter(const std::string& name, std::uint64_t value) {
+  if (active_) extra_counters_[name] = static_cast<unsigned long long>(value);
+}
+
+void ReportBuilder::derived(const std::string& key, double value) {
+  if (active_) extra_derived_[key] = value;
+}
+
+void ReportBuilder::hardware(const HwCounters& hw) {
+  if (!active_) return;
+  hw_ = hw;
+  have_hw_ = true;
+}
+
+Json ReportBuilder::build() const {
+  Json doc = Json::object();
+  doc["schema_version"] = 1;
+  doc["name"] = name_;
+  doc["timestamp"] = iso8601_utc_now();
+  const Json machine = machine_info_json();
+  doc["machine"] = machine;
+  doc["config"] = config_;
+
+  // Counter totals: explicit per-run aggregates merged with the global
+  // catalog snapshot (spans included) taken now.
+  const Snapshot snap = snapshot();
+  KernelCounters totals = totals_;
+  if (totals.empty()) {
+    // Benchmarks that never threaded SketchStats through timing() still get
+    // the globally accumulated kernel counters.
+    totals.rng_samples = snap.get(Counter::RngSamples);
+    totals.nnz_processed = snap.get(Counter::NnzProcessed);
+    totals.flops = snap.get(Counter::Flops);
+    totals.elems_moved = snap.get(Counter::ElemsMoved);
+    totals.bytes_moved = snap.get(Counter::BytesMoved);
+    totals.bytes_generated = snap.get(Counter::BytesGenerated);
+    totals.kernel_blocks = snap.get(Counter::KernelBlocks);
+  }
+  Json counters = Json::object();
+  counters["rng_samples"] = totals.rng_samples;
+  counters["nnz_processed"] = totals.nnz_processed;
+  counters["flops"] = totals.flops;
+  counters["elems_moved"] = totals.elems_moved;
+  counters["bytes_moved"] = totals.bytes_moved;
+  counters["bytes_generated"] = totals.bytes_generated;
+  counters["kernel_blocks"] = totals.kernel_blocks;
+  counters["sketch_calls"] = snap.get(Counter::SketchCalls);
+  for (const auto& [k, v] : extra_counters_.members()) counters[k] = v;
+  doc["counters"] = std::move(counters);
+
+  Json spans = Json::object();
+  for (const auto& [name, st] : snap.spans) {
+    Json s = Json::object();
+    s["count"] = st.count;
+    s["seconds"] = st.seconds;
+    spans[name] = std::move(s);
+  }
+  doc["spans"] = std::move(spans);
+
+  Json hardware = Json::object();
+  hardware["available"] = have_hw_ && hw_.valid;
+  if (have_hw_ && hw_.valid) {
+    hardware["cycles"] = hw_.cycles;
+    hardware["instructions"] = hw_.instructions;
+    hardware["cache_references"] = hw_.cache_references;
+    hardware["cache_misses"] = hw_.cache_misses;
+    hardware["ipc"] = hw_.ipc();
+    hardware["multiplex_scale"] = hw_.multiplex_scale;
+  }
+  doc["hardware"] = std::move(hardware);
+
+  Json derived = Json::object();
+  derived["measured_intensity_flops_per_elem"] = totals.intensity_per_element();
+  derived["measured_intensity_flops_per_byte"] = totals.intensity_per_byte();
+  if (totals.nnz_processed > 0) {
+    derived["samples_per_nnz"] = static_cast<double>(totals.rng_samples) /
+                                 static_cast<double>(totals.nnz_processed);
+  }
+  // When the machine probe measured h, put the modeled Eq. (5) intensity
+  // 2M/(4+Mh) next to the measurement so measured-vs-modeled is one diff.
+  if (const Json* h = machine.find("h_uniform_xoshiro_batch")) {
+    const Json* cache = machine.find("cache_bytes");
+    const double m_elems = cache != nullptr ? cache->as_double() / 4.0 : 0.0;
+    if (m_elems > 0.0) {
+      derived["modeled_ci_small_rho"] = ci_small_rho(m_elems, h->as_double());
+    }
+  }
+  for (const auto& [k, v] : extra_derived_.members()) derived[k] = v;
+  doc["derived"] = std::move(derived);
+
+  doc["timings"] = timings_;
+  return doc;
+}
+
+std::string ReportBuilder::write() const {
+  if (!active_) return "";
+  const std::string dir = env_string("RSKETCH_PERF_OUT", ".");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best-effort; open reports
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "perf: cannot write %s\n", path.c_str());
+    return "";
+  }
+  out << build().dump(2) << "\n";
+  out.close();
+  std::printf("perf report: %s\n", path.c_str());
+  return path;
+}
+
+namespace {
+
+void check_counter(const Json& counters, const char* key,
+                   std::vector<std::string>& errs) {
+  const Json* v = counters.find(key);
+  if (v == nullptr || !v->is_number() || v->as_double() < 0.0) {
+    errs.push_back(std::string("counters.") + key +
+                   " missing or not a nonnegative number");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_bench_report(const Json& doc) {
+  std::vector<std::string> errs;
+  if (!doc.is_object()) {
+    errs.push_back("document is not a JSON object");
+    return errs;
+  }
+  const Json* version = doc.find("schema_version");
+  if (version == nullptr || !version->is_int() || version->as_int() != 1) {
+    errs.push_back("schema_version missing or != 1");
+  }
+  const Json* name = doc.find("name");
+  if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+    errs.push_back("name missing or empty");
+  }
+
+  const Json* machine = doc.find("machine");
+  if (machine == nullptr || !machine->is_object()) {
+    errs.push_back("machine section missing");
+  } else {
+    for (const char* key : {"logical_cpus", "omp_max_threads", "cache_bytes"}) {
+      const Json* v = machine->find(key);
+      if (v == nullptr || !v->is_number() || v->as_double() <= 0.0) {
+        errs.push_back(std::string("machine.") + key +
+                       " missing or not positive");
+      }
+    }
+  }
+
+  if (const Json* config = doc.find("config"); config == nullptr || !config->is_object()) {
+    errs.push_back("config section missing");
+  }
+
+  const Json* counters = doc.find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    errs.push_back("counters section missing");
+  } else {
+    check_counter(*counters, "rng_samples", errs);
+    check_counter(*counters, "nnz_processed", errs);
+    check_counter(*counters, "flops", errs);
+    check_counter(*counters, "elems_moved", errs);
+  }
+
+  const Json* derived = doc.find("derived");
+  if (derived == nullptr || !derived->is_object()) {
+    errs.push_back("derived section missing");
+  } else {
+    const Json* ci = derived->find("measured_intensity_flops_per_elem");
+    if (ci == nullptr || !ci->is_number()) {
+      errs.push_back("derived.measured_intensity_flops_per_elem missing");
+    }
+  }
+
+  const Json* hardware = doc.find("hardware");
+  if (hardware == nullptr || !hardware->is_object()) {
+    errs.push_back("hardware section missing");
+  } else {
+    const Json* avail = hardware->find("available");
+    if (avail == nullptr || !avail->is_bool()) {
+      errs.push_back("hardware.available missing or not a bool");
+    } else if (avail->as_bool()) {
+      for (const char* key : {"cycles", "instructions"}) {
+        const Json* v = hardware->find(key);
+        if (v == nullptr || !v->is_number()) {
+          errs.push_back(std::string("hardware.") + key + " missing");
+        }
+      }
+    }
+  }
+
+  const Json* timings = doc.find("timings");
+  if (timings == nullptr || !timings->is_array() || timings->size() == 0) {
+    errs.push_back("timings missing or empty");
+  } else {
+    for (std::size_t i = 0; i < timings->size(); ++i) {
+      const Json& row = timings->at(i);
+      const Json* label = row.find("label");
+      const Json* seconds = row.find("seconds");
+      if (!row.is_object() || label == nullptr || !label->is_string() ||
+          seconds == nullptr || !seconds->is_number() ||
+          seconds->as_double() < 0.0) {
+        errs.push_back("timings[" + std::to_string(i) +
+                       "] lacks string label / nonnegative seconds");
+      }
+    }
+  }
+  return errs;
+}
+
+}  // namespace rsketch::perf

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "perf/counters.hpp"
 #include "rng/distributions.hpp"
 #include "support/common.hpp"
 
@@ -60,6 +61,14 @@ struct SketchStats {
   double convert_seconds = 0.0;  ///< CSC → blocked CSR time (Alg. 4 only)
   std::uint64_t samples_generated = 0;  ///< entries of S produced
   double gflops = 0.0;  ///< 2·d·nnz(A) / total_seconds / 1e9
+
+  /// Software work/traffic counters, populated when the run is instrumented
+  /// or RSKETCH_PERF is on (all-zero otherwise). See perf/counters.hpp.
+  perf::KernelCounters counters;
+
+  /// Measured computational intensity (flops per element moved or
+  /// generated) — comparable to the §III-A model in analysis/roofline.hpp.
+  double measured_intensity() const { return counters.intensity_per_element(); }
 };
 
 }  // namespace rsketch

@@ -7,7 +7,8 @@ namespace rsketch {
 template <typename T>
 void kernel_jki(DenseMatrix<T>& a_hat, index_t i0, index_t d1,
                 const typename BlockedCsr<T>::Block& blk,
-                SketchSampler<T>& sampler, T* v, AccumTimer* sample_timer) {
+                SketchSampler<T>& sampler, T* v, AccumTimer* sample_timer,
+                perf::KernelCounters* counters) {
   const CsrMatrix<T>& csr = blk.csr;
   const auto& row_ptr = csr.row_ptr();
   const auto& col_idx = csr.col_idx();
@@ -31,13 +32,43 @@ void kernel_jki(DenseMatrix<T>& a_hat, index_t i0, index_t d1,
       axpy(d1, values[static_cast<std::size_t>(p)], v, a_hat.col(k) + i0);
     }
   }
+
+  if (counters != nullptr) {
+    // Exact per-block accounting from the CSR structure alone — the hot loop
+    // above carries no counter updates. One regenerated column of S serves
+    // every nonzero of its row (the sample-reuse advantage of Algorithm 4);
+    // each nonzero still moves d1 elements of Â twice plus its own value and
+    // column index, and the row-pointer walk touches m+1 indices.
+    std::uint64_t nonempty_rows = 0;
+    for (index_t j = 0; j < m; ++j) {
+      nonempty_rows += row_ptr[static_cast<std::size_t>(j) + 1] >
+                               row_ptr[static_cast<std::size_t>(j)]
+                           ? 1u
+                           : 0u;
+    }
+    const std::uint64_t nnz =
+        static_cast<std::uint64_t>(row_ptr[static_cast<std::size_t>(m)] -
+                                   row_ptr[0]);
+    const std::uint64_t du = static_cast<std::uint64_t>(d1);
+    counters->rng_samples += nonempty_rows * du;
+    counters->nnz_processed += nnz;
+    counters->flops += 2 * nnz * du;
+    counters->elems_moved += nnz * (2 * du + 1);
+    counters->bytes_moved +=
+        nnz * (2 * du * sizeof(T) + sizeof(T) + sizeof(index_t)) +
+        (static_cast<std::uint64_t>(m) + 1) * sizeof(index_t);
+    counters->bytes_generated += nonempty_rows * du * sizeof(T);
+    counters->kernel_blocks += 1;
+  }
 }
 
 template void kernel_jki<float>(DenseMatrix<float>&, index_t, index_t,
                                 const BlockedCsr<float>::Block&,
-                                SketchSampler<float>&, float*, AccumTimer*);
+                                SketchSampler<float>&, float*, AccumTimer*,
+                                perf::KernelCounters*);
 template void kernel_jki<double>(DenseMatrix<double>&, index_t, index_t,
                                  const BlockedCsr<double>::Block&,
-                                 SketchSampler<double>&, double*, AccumTimer*);
+                                 SketchSampler<double>&, double*, AccumTimer*,
+                                 perf::KernelCounters*);
 
 }  // namespace rsketch

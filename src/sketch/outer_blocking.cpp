@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "perf/perf.hpp"
 #include "support/aligned_buffer.hpp"
 #include "support/timer.hpp"
 
@@ -17,6 +18,7 @@ namespace {
 
 /// Per-thread working state: a private sampler (the sampler is stateful) and
 /// an aligned scratch vector v of b_d elements for the regenerated column.
+/// Counters accumulate thread-locally and are merged after the join.
 template <typename T>
 struct ThreadCtx {
   explicit ThreadCtx(const SketchConfig& cfg)
@@ -24,6 +26,7 @@ struct ThreadCtx {
   SketchSampler<T> sampler;
   AlignedBuffer<T> v;
   AccumTimer sample_timer;
+  perf::KernelCounters counters;
 };
 
 template <typename T>
@@ -35,9 +38,17 @@ SketchStats collect(std::vector<ThreadCtx<T>>& ctxs, double total_seconds,
     stats.samples_generated += c.sampler.samples_generated();
     stats.sample_seconds = std::max(stats.sample_seconds,
                                     c.sample_timer.seconds());
+    stats.counters.merge(c.counters);
   }
   const double flops = 2.0 * static_cast<double>(d) * static_cast<double>(nnz);
   stats.gflops = total_seconds > 0 ? flops / total_seconds / 1e9 : 0.0;
+  if (perf::enabled()) {
+    perf::add(stats.counters);
+    perf::add(perf::Counter::SketchCalls, 1);
+    if (stats.sample_seconds > 0.0) {
+      perf::add_span("sample_fill", stats.sample_seconds);
+    }
+  }
   return stats;
 }
 
@@ -46,6 +57,7 @@ SketchStats collect(std::vector<ThreadCtx<T>>& ctxs, double total_seconds,
 template <typename T>
 SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
                                DenseMatrix<T>& a_hat, bool instrument) {
+  perf::Span span("sketch_blocked_kji");
   cfg.validate(a.rows(), a.cols());
   require(a_hat.rows() == cfg.d && a_hat.cols() == a.cols(),
           "sketch_blocked_kji: a_hat must be d x n");
@@ -62,6 +74,7 @@ SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
   std::vector<ThreadCtx<T>> ctxs;
   ctxs.reserve(static_cast<std::size_t>(nthreads));
   for (int t = 0; t < nthreads; ++t) ctxs.emplace_back(cfg);
+  const bool count = instrument || perf::enabled();
 
   Timer timer;
   if (cfg.parallel == ParallelOver::NBlocks) {
@@ -75,7 +88,8 @@ SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
         const index_t i0 = ib * bd;
         const index_t d1 = std::min(bd, d - i0);
         kernel_kji(a_hat, i0, d1, j0, n1, a, ctx.sampler, ctx.v.data(),
-                   instrument ? &ctx.sample_timer : nullptr);
+                   instrument ? &ctx.sample_timer : nullptr,
+                   count ? &ctx.counters : nullptr);
       }
     }
   } else {
@@ -93,7 +107,8 @@ SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
           const index_t i0 = ib * bd;
           const index_t d1 = std::min(bd, d - i0);
           kernel_kji(a_hat, i0, d1, j0, n1, a, ctx.sampler, ctx.v.data(),
-                     instrument ? &ctx.sample_timer : nullptr);
+                     instrument ? &ctx.sample_timer : nullptr,
+                     count ? &ctx.counters : nullptr);
         }
       }
     }
@@ -104,6 +119,7 @@ SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
 template <typename T>
 SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
                                DenseMatrix<T>& a_hat, bool instrument) {
+  perf::Span span("sketch_blocked_jki");
   cfg.validate(ab.rows(), ab.cols());
   require(a_hat.rows() == cfg.d && a_hat.cols() == ab.cols(),
           "sketch_blocked_jki: a_hat must be d x n");
@@ -118,6 +134,7 @@ SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
   std::vector<ThreadCtx<T>> ctxs;
   ctxs.reserve(static_cast<std::size_t>(nthreads));
   for (int t = 0; t < nthreads; ++t) ctxs.emplace_back(cfg);
+  const bool count = instrument || perf::enabled();
 
   Timer timer;
   if (cfg.parallel == ParallelOver::NBlocks) {
@@ -129,7 +146,8 @@ SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
         const index_t i0 = ib * bd;
         const index_t d1 = std::min(bd, d - i0);
         kernel_jki(a_hat, i0, d1, ab.block(jb), ctx.sampler, ctx.v.data(),
-                   instrument ? &ctx.sample_timer : nullptr);
+                   instrument ? &ctx.sample_timer : nullptr,
+                   count ? &ctx.counters : nullptr);
       }
     }
   } else {
@@ -142,7 +160,8 @@ SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
           const index_t i0 = ib * bd;
           const index_t d1 = std::min(bd, d - i0);
           kernel_jki(a_hat, i0, d1, ab.block(jb), ctx.sampler, ctx.v.data(),
-                     instrument ? &ctx.sample_timer : nullptr);
+                     instrument ? &ctx.sample_timer : nullptr,
+                     count ? &ctx.counters : nullptr);
         }
       }
     }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dense/blas1.hpp"
+#include "perf/perf.hpp"
 #include "sketch/outer_blocking.hpp"
 #include "support/timer.hpp"
 
@@ -64,10 +65,12 @@ SketchStats sketch_into(const SketchConfig& cfg, const CscMatrix<T>& a,
     stats = sketch_blocked_kji(cfg, a, a_hat, instrument);
   } else {
     Timer convert;
-    const BlockedCsr<T> ab =
-        cfg.parallel == ParallelOver::Sequential
-            ? BlockedCsr<T>::from_csc(a, cfg.block_n)
-            : BlockedCsr<T>::from_csc_parallel(a, cfg.block_n);
+    const BlockedCsr<T> ab = [&] {
+      perf::Span span("blocked_csr_convert");
+      return cfg.parallel == ParallelOver::Sequential
+                 ? BlockedCsr<T>::from_csc(a, cfg.block_n)
+                 : BlockedCsr<T>::from_csc_parallel(a, cfg.block_n);
+    }();
     const double convert_seconds = convert.seconds();
     stats = sketch_blocked_jki(cfg, ab, a_hat, instrument);
     stats.convert_seconds = convert_seconds;

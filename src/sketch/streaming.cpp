@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dense/blas1.hpp"
+#include "perf/perf.hpp"
 #include "sketch/sketch.hpp"
 #include "support/timer.hpp"
 
@@ -12,6 +13,7 @@ namespace rsketch {
 template <typename T>
 SketchStats streaming_sketch(const SketchConfig& cfg, const CsrMatrix<T>& a,
                              DenseMatrix<T>& a_hat) {
+  perf::Span span("streaming_sketch");
   cfg.validate(a.rows(), a.cols());
   if (a_hat.rows() != cfg.d || a_hat.cols() != a.cols()) {
     a_hat.reset(cfg.d, a.cols());
@@ -44,6 +46,31 @@ SketchStats streaming_sketch(const SketchConfig& cfg, const CsrMatrix<T>& a,
   stats.samples_generated = sampler.samples_generated();
   const double flops = 2.0 * static_cast<double>(d) * static_cast<double>(a.nnz());
   stats.gflops = stats.total_seconds > 0 ? flops / stats.total_seconds / 1e9 : 0.0;
+
+  if (perf::enabled()) {
+    // Same accounting as kernel_jki, over the whole matrix in one pass: one
+    // full column of S per nonempty row, 2·d elements of Â per nonzero.
+    std::uint64_t nonempty_rows = 0;
+    for (index_t j = 0; j < a.rows(); ++j) {
+      nonempty_rows += a.row_ptr()[static_cast<std::size_t>(j) + 1] >
+                               a.row_ptr()[static_cast<std::size_t>(j)]
+                           ? 1u
+                           : 0u;
+    }
+    const std::uint64_t nnz = static_cast<std::uint64_t>(a.nnz());
+    const std::uint64_t du = static_cast<std::uint64_t>(d);
+    auto& c = stats.counters;
+    c.rng_samples = nonempty_rows * du;
+    c.nnz_processed = nnz;
+    c.flops = 2 * nnz * du;
+    c.elems_moved = nnz * (2 * du + 1);
+    c.bytes_moved = nnz * (2 * du * sizeof(T) + sizeof(T) + sizeof(index_t)) +
+                    (static_cast<std::uint64_t>(a.rows()) + 1) * sizeof(index_t);
+    c.bytes_generated = nonempty_rows * du * sizeof(T);
+    c.kernel_blocks = 1;
+    perf::add(c);
+    perf::add(perf::Counter::SketchCalls, 1);
+  }
 
   const T scale = sketch_post_scale<T>(cfg);
   if (scale != T{1}) {

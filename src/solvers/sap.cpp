@@ -97,6 +97,9 @@ SapResult<T> sap_solve(const CscMatrix<T>& a, const std::vector<T>& b,
   }
   out.factor_seconds = phase.seconds();
   out.rank = rank;
+  // Â's storage was consumed by the factorization (moved in, freed with the
+  // factor object); the peak above already accounted for the overlap.
+  mem.release("sketch A_hat");
 
   // --- 3. LSQR on the preconditioned operator A·N.
   phase.reset();

@@ -8,16 +8,28 @@ void MemoryTracker::add(const std::string& label, std::size_t bytes) {
   current_ += bytes;
   peak_ = std::max(peak_, current_);
   items_.emplace_back(label, bytes);
+  live_.push_back(true);
 }
 
 void MemoryTracker::release(std::size_t bytes) {
   current_ = bytes > current_ ? 0 : current_ - bytes;
 }
 
+void MemoryTracker::release(const std::string& label) {
+  for (std::size_t i = live_.size(); i-- > 0;) {
+    if (live_[i] && items_[i].first == label) {
+      live_[i] = false;
+      release(items_[i].second);
+      return;
+    }
+  }
+}
+
 void MemoryTracker::clear() {
   current_ = 0;
   peak_ = 0;
   items_.clear();
+  live_.clear();
 }
 
 }  // namespace rsketch

@@ -21,6 +21,11 @@ class MemoryTracker {
   /// Record that `bytes` previously added were released.
   void release(std::size_t bytes);
 
+  /// Release the most recent still-live allocation recorded under `label`
+  /// (no-op when no live item with that label exists). Keeps call sites
+  /// honest: the solver frees what it named, without re-stating the size.
+  void release(const std::string& label);
+
   std::size_t current_bytes() const { return current_; }
   std::size_t peak_bytes() const { return peak_; }
   double peak_mbytes() const { return static_cast<double>(peak_) / 1.0e6; }
@@ -36,6 +41,7 @@ class MemoryTracker {
   std::size_t current_ = 0;
   std::size_t peak_ = 0;
   std::vector<std::pair<std::string, std::size_t>> items_;
+  std::vector<bool> live_;  ///< parallel to items_: not yet released by label
 };
 
 }  // namespace rsketch

@@ -30,7 +30,14 @@ class Timer {
 /// III/V without timing each inner call individually.
 class AccumTimer {
  public:
-  void start() { t_.reset(); running_ = true; }
+  /// Begin an interval. Calling start() while already running is a no-op:
+  /// the original interval keeps accumulating (a second start() used to
+  /// silently drop everything since the first one).
+  void start() {
+    if (running_) return;
+    t_.reset();
+    running_ = true;
+  }
   void stop() {
     if (running_) {
       total_ += t_.seconds();
@@ -38,12 +45,27 @@ class AccumTimer {
     }
   }
   void clear() { total_ = 0.0; running_ = false; }
+  bool running() const { return running_; }
   double seconds() const { return total_; }
 
  private:
   Timer t_;
   double total_ = 0.0;
   bool running_ = false;
+};
+
+/// RAII bracket for an AccumTimer interval: starts on construction, stops on
+/// destruction. The perf spans use this to guarantee balanced start/stop
+/// around early returns and exceptions.
+class ScopedAccum {
+ public:
+  explicit ScopedAccum(AccumTimer& t) : t_(t) { t_.start(); }
+  ~ScopedAccum() { t_.stop(); }
+  ScopedAccum(const ScopedAccum&) = delete;
+  ScopedAccum& operator=(const ScopedAccum&) = delete;
+
+ private:
+  AccumTimer& t_;
 };
 
 }  // namespace rsketch

@@ -1,0 +1,297 @@
+// Tests for the telemetry subsystem (src/perf/): thread-local counter merge
+// across OpenMP threads, the disabled-mode zero-cost path, JSON round-trips,
+// the BENCH_*.json report schema, and perf_event graceful fallback.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cstdint>
+#include <string>
+
+#include "perf/json.hpp"
+#include "perf/perf.hpp"
+#include "perf/perf_events.hpp"
+#include "perf/report.hpp"
+#include "sketch/sketch.hpp"
+#include "sparse/generate.hpp"
+#include "support/timer.hpp"
+
+namespace rsketch {
+namespace {
+
+// Forces a known toggle state for one test and restores "off, zeroed" after,
+// so the tests are order-independent within this binary.
+struct PerfToggle {
+  explicit PerfToggle(bool on) {
+    perf::set_enabled(on);
+    perf::reset();
+  }
+  ~PerfToggle() {
+    perf::set_enabled(false);
+    perf::reset();
+  }
+};
+
+void busy_wait(double seconds) {
+  Timer t;
+  while (t.seconds() < seconds) {
+  }
+}
+
+TEST(PerfCore, DisabledAddsAreDropped) {
+  PerfToggle toggle(false);
+  EXPECT_FALSE(perf::enabled());
+  perf::add(perf::Counter::RngSamples, 123);
+  perf::add_span("dropped", 1.0);
+  {
+    perf::Span span("also_dropped");
+    busy_wait(1e-4);
+  }
+  perf::KernelCounters kc;
+  kc.flops = 42;
+  perf::add(kc);
+  const auto snap = perf::snapshot();
+  for (int c = 0; c < perf::kNumCounters; ++c) {
+    EXPECT_EQ(snap.counters[static_cast<std::size_t>(c)], 0u)
+        << perf::counter_name(static_cast<perf::Counter>(c));
+  }
+  EXPECT_TRUE(snap.spans.empty());
+}
+
+TEST(PerfCore, CounterMergeAcrossOmpThreads) {
+  PerfToggle toggle(true);
+  const int threads = 4;  // oversubscription is fine for a merge test
+#pragma omp parallel num_threads(threads)
+  {
+    perf::add(perf::Counter::RngSamples, 1000);
+    perf::add(perf::Counter::Flops, 10);
+    perf::add_span("omp_unit", 0.25);
+    perf::KernelCounters kc;
+    kc.nnz_processed = 7;
+    perf::add(kc);
+  }
+  const auto snap = perf::snapshot();
+  const auto n = static_cast<std::uint64_t>(threads);
+  EXPECT_EQ(snap.get(perf::Counter::RngSamples), 1000u * n);
+  EXPECT_EQ(snap.get(perf::Counter::Flops), 10u * n);
+  EXPECT_EQ(snap.get(perf::Counter::NnzProcessed), 7u * n);
+  ASSERT_EQ(snap.spans.count("omp_unit"), 1u);
+  EXPECT_EQ(snap.spans.at("omp_unit").count, n);
+  EXPECT_DOUBLE_EQ(snap.spans.at("omp_unit").seconds, 0.25 * threads);
+}
+
+TEST(PerfCore, ResetZeroesEverything) {
+  PerfToggle toggle(true);
+  perf::add(perf::Counter::BytesMoved, 99);
+  perf::add_span("gone", 1.0);
+  perf::reset();
+  const auto snap = perf::snapshot();
+  EXPECT_EQ(snap.get(perf::Counter::BytesMoved), 0u);
+  EXPECT_TRUE(snap.spans.empty());
+}
+
+TEST(PerfCore, SpanRecordsElapsedWallClock) {
+  PerfToggle toggle(true);
+  {
+    perf::Span span("timed_region");
+    busy_wait(5e-3);
+  }
+  const auto snap = perf::snapshot();
+  ASSERT_EQ(snap.spans.count("timed_region"), 1u);
+  EXPECT_EQ(snap.spans.at("timed_region").count, 1u);
+  EXPECT_GE(snap.spans.at("timed_region").seconds, 4e-3);
+}
+
+// Instrumented runs collect per-sketch counters even with the global toggle
+// off (Table III's code path), and the formulas must agree exactly with the
+// sampler's own fill accounting: Alg. 3 regenerates d entries of S per
+// nonzero, Alg. 4 one column of S per nonempty row per row-block.
+TEST(PerfKernels, KjiCountersMatchSamplerAccounting) {
+  PerfToggle toggle(false);
+  const auto a = random_sparse<double>(300, 80, 0.05, 7);
+  SketchConfig cfg;
+  cfg.d = 96;
+  cfg.block_d = 40;
+  cfg.block_n = 17;
+  cfg.kernel = KernelVariant::Kji;
+  cfg.parallel = ParallelOver::Sequential;
+  DenseMatrix<double> a_hat(cfg.d, a.cols());
+  const auto stats = sketch_into(cfg, a, a_hat, /*instrument=*/true);
+
+  const auto nnz = static_cast<std::uint64_t>(a.nnz());
+  const auto d = static_cast<std::uint64_t>(cfg.d);
+  // A is re-streamed once per block row of S, so nnz_processed counts
+  // traffic (nnz x ceil(d / b_d)), not unique entries — that re-read factor
+  // is exactly what the intensity model charges for.
+  const auto d_blocks = static_cast<std::uint64_t>(ceil_div(cfg.d, cfg.block_d));
+  EXPECT_EQ(stats.counters.rng_samples, stats.samples_generated);
+  EXPECT_EQ(stats.counters.rng_samples, nnz * d);
+  EXPECT_EQ(stats.counters.nnz_processed, nnz * d_blocks);
+  EXPECT_EQ(stats.counters.flops, 2 * nnz * d);
+  EXPECT_GT(stats.counters.kernel_blocks, 1u);  // blocks actually tiled
+  EXPECT_GT(stats.measured_intensity(), 0.0);
+  EXPECT_LT(stats.measured_intensity(), 2.0);  // flops / (elems + samples) < 2
+
+  // Global catalog stays untouched: the toggle is off.
+  EXPECT_EQ(perf::snapshot().get(perf::Counter::RngSamples), 0u);
+}
+
+TEST(PerfKernels, JkiReusesSamplesAcrossRows) {
+  PerfToggle toggle(false);
+  const auto a = random_sparse<double>(300, 80, 0.05, 11);
+  SketchConfig cfg;
+  cfg.d = 96;
+  cfg.block_d = 40;
+  cfg.block_n = 17;
+  cfg.kernel = KernelVariant::Jki;
+  cfg.parallel = ParallelOver::Sequential;
+  DenseMatrix<double> a_hat(cfg.d, a.cols());
+  const auto stats = sketch_into(cfg, a, a_hat, /*instrument=*/true);
+
+  const auto nnz = static_cast<std::uint64_t>(a.nnz());
+  const auto d = static_cast<std::uint64_t>(cfg.d);
+  const auto d_blocks = static_cast<std::uint64_t>(ceil_div(cfg.d, cfg.block_d));
+  EXPECT_EQ(stats.counters.rng_samples, stats.samples_generated);
+  // The whole point of Algorithm 4: strictly fewer samples than Alg. 3
+  // whenever any row holds more than one nonzero per column-block.
+  EXPECT_LT(stats.counters.rng_samples, nnz * d);
+  EXPECT_EQ(stats.counters.nnz_processed, nnz * d_blocks);
+  EXPECT_EQ(stats.counters.flops, 2 * nnz * d);
+}
+
+TEST(PerfKernels, EnabledTogglePopulatesGlobalCatalog) {
+  PerfToggle toggle(true);
+  const auto a = random_sparse<double>(200, 60, 0.05, 3);
+  SketchConfig cfg;
+  cfg.d = 64;
+  cfg.kernel = KernelVariant::Kji;
+  cfg.parallel = ParallelOver::Sequential;
+  DenseMatrix<double> a_hat(cfg.d, a.cols());
+  const auto stats = sketch_into(cfg, a, a_hat);  // no instrument flag needed
+
+  const auto snap = perf::snapshot();
+  EXPECT_EQ(snap.get(perf::Counter::RngSamples), stats.counters.rng_samples);
+  EXPECT_EQ(snap.get(perf::Counter::NnzProcessed),
+            static_cast<std::uint64_t>(a.nnz()));
+  EXPECT_EQ(snap.get(perf::Counter::SketchCalls), 1u);
+  EXPECT_EQ(snap.spans.count("sketch_blocked_kji"), 1u);
+}
+
+TEST(PerfJson, DumpParseRoundTrip) {
+  using perf::Json;
+  Json doc = Json::object();
+  doc["name"] = Json("bench \"quoted\" \\ and\nnewline");
+  doc["big_int"] = Json(static_cast<std::uint64_t>(1) << 53);
+  doc["negative"] = Json(-42);
+  doc["pi"] = Json(3.14159265358979);
+  doc["flag"] = Json(true);
+  doc["nothing"] = Json();
+  Json arr = Json::array();
+  arr.push_back(Json(1));
+  arr.push_back(Json("two"));
+  Json nested = Json::object();
+  nested["k"] = Json(7);
+  arr.push_back(nested);
+  doc["items"] = arr;
+
+  const std::string text = doc.dump(2);
+  const Json back = Json::parse(text);
+  EXPECT_EQ(back.find("name")->as_string(), doc.find("name")->as_string());
+  EXPECT_EQ(back.find("big_int")->as_int(),
+            static_cast<long long>(1) << 53);
+  EXPECT_EQ(back.find("negative")->as_int(), -42);
+  EXPECT_DOUBLE_EQ(back.find("pi")->as_double(), 3.14159265358979);
+  EXPECT_TRUE(back.find("flag")->as_bool());
+  EXPECT_TRUE(back.find("nothing")->is_null());
+  ASSERT_EQ(back.find("items")->size(), 3u);
+  EXPECT_EQ(back.find("items")->at(2).find("k")->as_int(), 7);
+  // Serialization is stable: a second trip reproduces the text exactly.
+  EXPECT_EQ(Json::parse(text).dump(2), text);
+}
+
+TEST(PerfJson, ParseRejectsMalformedInput) {
+  using perf::Json;
+  EXPECT_THROW(Json::parse("{"), io_error);
+  EXPECT_THROW(Json::parse("[1, 2,,]"), io_error);
+  EXPECT_THROW(Json::parse("{\"a\": 1} trailing"), io_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), io_error);
+  // Unicode escapes decode to UTF-8.
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(PerfReport, BuildPassesSchemaValidation) {
+  PerfToggle toggle(true);
+  const auto a = random_sparse<double>(150, 40, 0.08, 5);
+  SketchConfig cfg;
+  cfg.d = 48;
+  cfg.parallel = ParallelOver::Sequential;
+  DenseMatrix<double> a_hat(cfg.d, a.cols());
+  const auto stats = sketch_into(cfg, a, a_hat, /*instrument=*/true);
+
+  perf::ReportBuilder report("unit_test");
+  EXPECT_TRUE(report.active());
+  report.config("matrix", "random_sparse");
+  report.config("d", static_cast<long long>(cfg.d));
+  report.timing("sketch", stats.total_seconds, stats);
+  report.counter("extra", 9);
+  report.derived("speedup", 1.5);
+
+  const perf::Json doc = report.build();
+  const auto errs = perf::validate_bench_report(doc);
+  for (const auto& e : errs) ADD_FAILURE() << e;
+  EXPECT_TRUE(errs.empty());
+
+  // The document survives a serialize/parse trip and still validates —
+  // exactly what the validate_bench_json smoke gate exercises.
+  const perf::Json back = perf::Json::parse(doc.dump(2));
+  EXPECT_TRUE(perf::validate_bench_report(back).empty());
+  EXPECT_EQ(back.find("counters")->find("rng_samples")->as_int(),
+            static_cast<long long>(stats.counters.rng_samples));
+  EXPECT_EQ(back.find("name")->as_string(), "unit_test");
+}
+
+TEST(PerfReport, InactiveBuilderIsInert) {
+  PerfToggle toggle(false);
+  perf::ReportBuilder report("should_not_exist");
+  EXPECT_FALSE(report.active());
+  report.config("k", "v");
+  report.timing("t", 1.0);
+  EXPECT_EQ(report.write(), "");
+}
+
+TEST(PerfReport, ValidatorFlagsMissingSections) {
+  const auto errs = perf::validate_bench_report(perf::Json::object());
+  EXPECT_FALSE(errs.empty());
+  perf::Json half = perf::Json::object();
+  half["schema_version"] = perf::Json(1);
+  half["name"] = perf::Json("x");
+  EXPECT_FALSE(perf::validate_bench_report(half).empty());
+}
+
+// The hardware backend must be internally consistent whether or not the
+// kernel grants perf_event access (containers typically deny it): available()
+// true => a started/stopped group yields a valid reading with nonzero cycles;
+// false => read() reports invalid and error() says why. Never crashes.
+TEST(PerfEvents, GracefulFallbackIsConsistent) {
+  perf::PerfEventGroup group;
+  group.start();
+  busy_wait(2e-3);
+  group.stop();
+  const perf::HwCounters hw = group.read();
+  EXPECT_EQ(hw.valid, group.available());
+  if (group.available()) {
+    EXPECT_GT(hw.cycles, 0u);
+    EXPECT_GT(hw.instructions, 0u);
+    EXPECT_GT(hw.ipc(), 0.0);
+    EXPECT_GT(hw.multiplex_scale, 0.0);
+  } else {
+    EXPECT_FALSE(group.error().empty());
+    EXPECT_EQ(hw.cycles, 0u);
+  }
+  // Repeated start/stop cycles are safe in either mode.
+  group.start();
+  group.stop();
+  (void)group.read();
+}
+
+}  // namespace
+}  // namespace rsketch

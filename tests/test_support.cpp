@@ -86,6 +86,34 @@ TEST(AccumTimer, StopWithoutStartIsNoop) {
   EXPECT_EQ(t.seconds(), 0.0);
 }
 
+TEST(AccumTimer, DoubleStartKeepsOriginalInterval) {
+  AccumTimer t;
+  Timer wall;
+  t.start();
+  EXPECT_TRUE(t.running());
+  while (wall.seconds() < 2e-3) {
+  }
+  t.start();  // must not restart the interval
+  while (wall.seconds() < 4e-3) {
+  }
+  t.stop();
+  EXPECT_FALSE(t.running());
+  EXPECT_GE(t.seconds(), 3.5e-3);
+}
+
+TEST(AccumTimer, ScopedAccumStopsOnScopeExit) {
+  AccumTimer t;
+  {
+    ScopedAccum scope(t);
+    EXPECT_TRUE(t.running());
+    Timer wall;
+    while (wall.seconds() < 1e-3) {
+    }
+  }
+  EXPECT_FALSE(t.running());
+  EXPECT_GE(t.seconds(), 0.5e-3);
+}
+
 TEST(Table, RendersHeaderAndRows) {
   Table t("Title");
   t.set_header({"Matrix", "time"});
@@ -201,6 +229,23 @@ TEST(MemoryTracker, ReleaseClampsAtZero) {
   mt.add("a", 10);
   mt.release(1000);
   EXPECT_EQ(mt.current_bytes(), 0u);
+}
+
+TEST(MemoryTracker, ReleaseByLabel) {
+  MemoryTracker mt;
+  mt.add("sketch", 100);
+  mt.add("factor", 50);
+  mt.add("sketch", 30);
+  EXPECT_EQ(mt.current_bytes(), 180u);
+  mt.release("sketch");  // releases the most recent live "sketch" (30)
+  EXPECT_EQ(mt.current_bytes(), 150u);
+  mt.release("sketch");  // then the earlier one (100)
+  EXPECT_EQ(mt.current_bytes(), 50u);
+  mt.release("sketch");  // no live "sketch" left: no-op
+  mt.release("missing");  // unknown label: no-op
+  EXPECT_EQ(mt.current_bytes(), 50u);
+  EXPECT_EQ(mt.peak_bytes(), 180u);
+  EXPECT_EQ(mt.items().size(), 3u);  // the log of allocations is untouched
 }
 
 TEST(MemoryTracker, Clear) {
