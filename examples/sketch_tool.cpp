@@ -4,7 +4,12 @@
 //   sketch_tool sketch --in A.mtx --out Ahat.mtx [--gamma 3] [--dist pm1]
 //               [--kernel kji|jki] [--seed 42]
 //   sketch_tool solve  --in A.mtx [--rhs b.txt] [--svd] [--gamma 2]
+//               [--guarded] [--attempts N]
 //   sketch_tool info   --in A.mtx
+//
+// Input validation (structure + NaN/Inf scan) is ON by default here — files
+// come from outside the process, so corruption is a user-facing error, not a
+// precondition violation. --no-check restores the library's raw hot path.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -13,12 +18,14 @@
 #include "perf/report.hpp"
 #include "sketch/autotune.hpp"
 #include "sketch/sketch.hpp"
+#include "solvers/guarded.hpp"
 #include "solvers/least_squares.hpp"
 #include "solvers/sap.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/matrix_market.hpp"
 #include "sparse/ops.hpp"
+#include "sparse/validate.hpp"
 #include "support/cli.hpp"
 
 using namespace rsketch;
@@ -30,8 +37,11 @@ int usage(const char* prog) {
                "usage:\n"
                "  %s sketch --in A.mtx --out Ahat.mtx [--gamma G] "
                "[--dist pm1|uniform|gauss] [--kernel kji|jki] [--seed S]\n"
-               "  %s solve  --in A.mtx [--rhs b.txt] [--svd] [--gamma G]\n"
-               "  %s info   --in A.mtx\n",
+               "  %s solve  --in A.mtx [--rhs b.txt] [--svd] [--gamma G] "
+               "[--guarded] [--attempts N]\n"
+               "  %s info   --in A.mtx\n"
+               "common flags: --no-check disables the input validators "
+               "(structure + NaN/Inf scan), on by default\n",
                prog, prog, prog);
   return 2;
 }
@@ -54,7 +64,11 @@ std::vector<double> read_vector(const std::string& path, index_t expect) {
   return v;
 }
 
-int cmd_info(const CscMatrix<double>& a) {
+int cmd_info(const CliArgs& args, const CscMatrix<double>& a) {
+  if (!args.has("no-check")) {
+    const ValidationReport rep = validate_csc(a);
+    std::printf("validate %s\n", rep.summary().c_str());
+  }
   std::printf("rows     %lld\n", static_cast<long long>(a.rows()));
   std::printf("cols     %lld\n", static_cast<long long>(a.cols()));
   std::printf("nnz      %lld\n", static_cast<long long>(a.nnz()));
@@ -81,6 +95,7 @@ int cmd_sketch(const CliArgs& args, const CscMatrix<double>& a) {
       args.get("kernel", "kji") == "jki" ? KernelVariant::Jki
                                          : KernelVariant::Kji;
   cfg.normalize = true;
+  cfg.check_inputs = !args.has("no-check");
   autotune_blocks(cfg, a);
   std::printf("sketching: d=%lld, dist=%s, kernel=%s, blocks=(%lld, %lld)\n",
               static_cast<long long>(cfg.d), to_string(cfg.dist).c_str(),
@@ -143,7 +158,35 @@ int cmd_solve(const CliArgs& args, CscMatrix<double> a) {
   SapOptions opt;
   opt.factor = args.has("svd") ? SapFactor::SVD : SapFactor::QR;
   opt.gamma = args.get_double("gamma", 2.0);
-  const auto res = sap_solve(a, b, opt);
+
+  SapResult<double> res;
+  int attempts = 1;
+  bool recovered = false;
+  if (args.has("guarded")) {
+    GuardedSapOptions gopt;
+    gopt.base = opt;
+    gopt.max_attempts = static_cast<int>(args.get_int("attempts", 3));
+    gopt.check_inputs = !args.has("no-check");
+    // Fault-injection aid (see docs/ROBUSTNESS.md): deliberately poison the
+    // first N sketches so the recovery path is demonstrable end to end.
+    gopt.poison_first_attempts = static_cast<int>(args.get_int("poison", 0));
+    GuardedSapResult<double> g = guarded_sap_solve(a, b, gopt);
+    attempts = g.attempts;
+    recovered = g.recovered;
+    for (const SapAttemptLog& log : g.log) {
+      std::printf("attempt %d: %s (seed=%llu, d=%lld, cond~%.2e)\n",
+                  log.attempt, to_string(log.outcome).c_str(),
+                  static_cast<unsigned long long>(log.seed),
+                  static_cast<long long>(log.d), log.cond_estimate);
+    }
+    if (recovered) {
+      std::printf("recovered after %d attempt(s)\n", attempts);
+    }
+    res = std::move(g.result);
+  } else {
+    if (!args.has("no-check")) require_valid(a);
+    res = sap_solve(a, b, opt);
+  }
   // Peak workspace sits next to the phase timings so the numbers printed
   // here are the exact MemoryTracker accounting Table XI reports.
   std::printf("SAP-%s: %.3f s (sketch %.3f, factor %.3f, LSQR %.3f), "
@@ -159,6 +202,7 @@ int cmd_solve(const CliArgs& args, CscMatrix<double> a) {
   report.config("in", args.get("in", ""));
   report.config("factor", opt.factor == SapFactor::SVD ? "svd" : "qr");
   report.config("gamma", opt.gamma);
+  report.config("guarded", args.has("guarded") ? 1LL : 0LL);
   report.timing("sketch", res.sketch_seconds);
   report.timing("factor", res.factor_seconds);
   report.timing("lsqr", res.lsqr_seconds);
@@ -166,6 +210,10 @@ int cmd_solve(const CliArgs& args, CscMatrix<double> a) {
   report.counter("lsqr_iterations",
                  static_cast<std::uint64_t>(res.iterations));
   report.counter("peak_workspace_bytes", res.workspace_bytes);
+  // Retry telemetry: the span table already carries guarded_sap/retry and
+  // guarded_sap/attempt_ok entries; these counters make the totals greppable.
+  report.counter("guarded_attempts", static_cast<std::uint64_t>(attempts));
+  report.counter("guarded_recovered", recovered ? 1u : 0u);
   report.write();
   std::printf("x[0..%d] =", static_cast<int>(std::min<index_t>(5, a.cols())));
   for (index_t j = 0; j < std::min<index_t>(5, a.cols()); ++j) {
@@ -186,7 +234,7 @@ int main(int argc, char** argv) {
 
   try {
     CscMatrix<double> a = read_matrix_market_file<double>(in_path);
-    if (cmd == "info") return cmd_info(a);
+    if (cmd == "info") return cmd_info(args, a);
     if (cmd == "sketch") return cmd_sketch(args, a);
     if (cmd == "solve") return cmd_solve(args, std::move(a));
     return usage(argv[0]);

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cmath>
+#include <limits>
 
 #include "support/aligned_buffer.hpp"
 #include "support/common.hpp"
@@ -23,9 +24,16 @@ class DenseMatrix {
   /// Reallocate to rows×cols and zero-fill.
   void reset(index_t rows, index_t cols) {
     require(rows >= 0 && cols >= 0, "DenseMatrix: negative dimension");
+    const index_t ld = pad(rows);
+    // ld * cols is computed in index_t (int64): guard the product before it
+    // wraps into a small or negative element count. AlignedBuffer re-checks
+    // the byte count, but only an unwrapped product reaches it.
+    if (cols > 0 && ld > std::numeric_limits<index_t>::max() / cols) {
+      throw invalid_argument_error("DenseMatrix: rows*cols overflows index_t");
+    }
     rows_ = rows;
     cols_ = cols;
-    ld_ = pad(rows);
+    ld_ = ld;
     buf_.reset(ld_ * cols);
     set_zero();
   }

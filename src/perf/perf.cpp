@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <string>
 #include <vector>
+
+#include "support/env.hpp"
 
 namespace rsketch::perf {
 
@@ -13,7 +17,15 @@ namespace {
 
 bool env_toggle() {
   const char* v = std::getenv("RSKETCH_PERF");
-  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+  if (v == nullptr || *v == '\0') return false;
+  std::string s(v);
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "1" || s == "true" || s == "on" || s == "yes") return true;
+  if (s == "0" || s == "false" || s == "off" || s == "no") return false;
+  // A typo'd toggle must not silently flip telemetry on or off.
+  env_warn_once("RSKETCH_PERF", v, "expected 0/1/on/off; telemetry disabled");
+  return false;
 }
 
 std::atomic<bool> g_enabled{env_toggle()};

@@ -43,6 +43,11 @@ struct SketchConfig {
   /// Scale Â by 1/sqrt(d·E[s²]) so S becomes a (near-)isometry on average —
   /// what the least-squares pipeline wants.
   bool normalize = false;
+  /// Run the full structural + NaN/Inf validators (sparse/validate.hpp) on A
+  /// before sketching, throwing validation_error on corrupt input. Off by
+  /// default in the library hot path (one branch, zero scans); sketch_tool
+  /// turns it on. See docs/ROBUSTNESS.md.
+  bool check_inputs = false;
 
   /// Throws invalid_argument_error when structurally invalid.
   void validate(index_t m, index_t n) const {

@@ -6,6 +6,7 @@
 #include "dense/blas1.hpp"
 #include "perf/perf.hpp"
 #include "sketch/outer_blocking.hpp"
+#include "sparse/validate.hpp"
 #include "support/timer.hpp"
 
 namespace rsketch {
@@ -57,6 +58,10 @@ template <typename T>
 SketchStats sketch_into(const SketchConfig& cfg, const CscMatrix<T>& a,
                         DenseMatrix<T>& a_hat, bool instrument) {
   cfg.validate(a.rows(), a.cols());
+  if (cfg.check_inputs) {
+    perf::Span span("validate_inputs");
+    require_valid(a);
+  }
   if (a_hat.rows() != cfg.d || a_hat.cols() != a.cols()) {
     a_hat.reset(cfg.d, a.cols());
   }
@@ -91,6 +96,10 @@ SketchStats sketch_into_prepartitioned(const SketchConfig& cfg,
                                        const BlockedCsr<T>& ab,
                                        DenseMatrix<T>& a_hat,
                                        bool instrument) {
+  if (cfg.check_inputs) {
+    perf::Span span("validate_inputs");
+    require_valid(ab);
+  }
   if (a_hat.rows() != cfg.d || a_hat.cols() != ab.cols()) {
     a_hat.reset(cfg.d, ab.cols());
   }

@@ -31,6 +31,10 @@ LsqrResult<T> lsqr(const LinearOperator<T>& op, const T* b,
 
   // --- Golub–Kahan bidiagonalization initialization ---
   double beta = nrm2(m, u.data());
+  if (!std::isfinite(beta)) {
+    out.breakdown = true;  // b already contains NaN/Inf
+    return out;
+  }
   if (beta == 0.0) {
     out.converged = true;  // b = 0 → x = 0
     return out;
@@ -38,6 +42,10 @@ LsqrResult<T> lsqr(const LinearOperator<T>& op, const T* b,
   scal(m, static_cast<T>(1.0 / beta), u.data());
   op.apply_adjoint(u.data(), v.data());
   double alpha = nrm2(n, v.data());
+  if (!std::isfinite(alpha)) {
+    out.breakdown = true;  // operator produced NaN/Inf
+    return out;
+  }
   if (alpha == 0.0) {
     out.converged = true;  // b ⟂ range(Op)
     return out;
@@ -74,6 +82,12 @@ LsqrResult<T> lsqr(const LinearOperator<T>& op, const T* b,
     }
     alpha = nrm2(n, v.data());
     if (alpha > 0.0) scal(n, static_cast<T>(1.0 / alpha), v.data());
+
+    if (!std::isfinite(alpha) || !std::isfinite(beta)) {
+      out.breakdown = true;  // NaN/Inf entered the recurrence this iteration
+      out.iterations = it;
+      break;
+    }
 
     anorm2 += alpha * alpha + beta * beta;
 

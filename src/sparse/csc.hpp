@@ -34,6 +34,23 @@ class CscMatrix {
     validate();
   }
 
+  /// Adopt raw arrays WITHOUT validation. For internal builders whose output
+  /// is correct by construction, and for the fault-injection harness (which
+  /// deliberately assembles broken structures to exercise the validators in
+  /// sparse/validate.hpp). Anything else should use the checked constructor.
+  static CscMatrix adopt_unchecked(index_t m, index_t n,
+                                   std::vector<index_t> col_ptr,
+                                   std::vector<index_t> row_idx,
+                                   std::vector<T> values) {
+    CscMatrix a;
+    a.rows_ = m;
+    a.cols_ = n;
+    a.col_ptr_ = std::move(col_ptr);
+    a.row_idx_ = std::move(row_idx);
+    a.values_ = std::move(values);
+    return a;
+  }
+
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
   index_t nnz() const { return static_cast<index_t>(values_.size()); }

@@ -32,6 +32,24 @@ class CsrMatrix {
     validate();
   }
 
+  /// Adopt raw arrays WITHOUT validation — for builders whose output is
+  /// correct by construction (the blocked-CSR conversion builds thousands of
+  /// small CSR slabs on the sketch hot path; validating each would put an
+  /// O(nnz) scan inside the timed conversion) and for the fault-injection
+  /// harness. Everything else should use the checked constructor.
+  static CsrMatrix adopt_unchecked(index_t m, index_t n,
+                                   std::vector<index_t> row_ptr,
+                                   std::vector<index_t> col_idx,
+                                   std::vector<T> values) {
+    CsrMatrix a;
+    a.rows_ = m;
+    a.cols_ = n;
+    a.row_ptr_ = std::move(row_ptr);
+    a.col_idx_ = std::move(col_idx);
+    a.values_ = std::move(values);
+    return a;
+  }
+
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
   index_t nnz() const { return static_cast<index_t>(values_.size()); }

@@ -19,6 +19,18 @@ std::string lower(std::string s) {
   return s;
 }
 
+/// Strip a trailing '\r' so files written on Windows (CRLF endings) parse
+/// identically to LF files — getline only eats the '\n'.
+void chomp(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+bool is_blank(const std::string& line) {
+  return std::all_of(line.begin(), line.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
 struct MmHeader {
   bool pattern = false;
   bool symmetric = false;
@@ -56,14 +68,16 @@ template <typename T>
 CscMatrix<T> read_matrix_market(std::istream& in) {
   std::string line;
   if (!std::getline(in, line)) throw io_error("MatrixMarket: empty stream");
+  chomp(line);
   const MmHeader h = parse_banner(line);
 
-  // Skip comments to the size line.
+  // Skip comments and blank lines to the size line.
   do {
     if (!std::getline(in, line)) {
       throw io_error("MatrixMarket: missing size line");
     }
-  } while (!line.empty() && line[0] == '%');
+    chomp(line);
+  } while (is_blank(line) || line[0] == '%');
 
   index_t m = 0, n = 0, nnz = 0;
   {
@@ -79,7 +93,8 @@ CscMatrix<T> read_matrix_market(std::istream& in) {
     if (!std::getline(in, line)) {
       throw io_error("MatrixMarket: unexpected end of entries");
     }
-    if (line.empty() || line[0] == '%') {
+    chomp(line);
+    if (is_blank(line) || line[0] == '%') {
       --k;  // tolerate stray blank/comment lines between entries
       continue;
     }
@@ -100,7 +115,14 @@ CscMatrix<T> read_matrix_market(std::istream& in) {
       coo.push(j - 1, i - 1, static_cast<T>(h.skew ? -v : v));
     }
   }
-  return coo_to_csc(coo);
+  CscMatrix<T> csc = coo_to_csc(coo);
+  // coo_to_csc sums coincident entries, so a shrunken nnz means the file
+  // listed some (i, j) twice. Silently summing duplicates corrupts matrices
+  // whose writers meant "overwrite" (and masks broken writers), so reject.
+  if (csc.nnz() != coo.nnz()) {
+    throw io_error("MatrixMarket: duplicate (i, j) entries in input");
+  }
+  return csc;
 }
 
 template <typename T>

@@ -5,8 +5,10 @@
 // keeps panels cache-line aligned so threads never false-share panel edges.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <utility>
 
@@ -15,6 +17,25 @@
 namespace rsketch {
 
 inline constexpr std::size_t kCacheLineBytes = 64;
+
+namespace detail {
+
+/// Allocation-failure countdown for the fault-injection harness
+/// (testdata/faults.hpp arms it): when armed with k ≥ 1, the k-th subsequent
+/// AlignedBuffer allocation throws std::bad_alloc and the hook disarms
+/// itself. Negative = disarmed (the normal state); the hot-path cost is one
+/// relaxed atomic load.
+inline std::atomic<long> alloc_fail_countdown{-1};
+
+inline void maybe_fail_allocation() {
+  if (alloc_fail_countdown.load(std::memory_order_relaxed) < 0) return;
+  if (alloc_fail_countdown.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    alloc_fail_countdown.store(-1, std::memory_order_relaxed);  // disarm
+    throw std::bad_alloc();
+  }
+}
+
+}  // namespace detail
 
 /// Owning, 64-byte-aligned, non-copyable buffer of trivially-copyable T.
 /// Unlike std::vector it never default-constructs elements on resize-free
@@ -66,17 +87,31 @@ class AlignedBuffer {
  private:
   void allocate(index_t n) {
     require(n >= 0, "AlignedBuffer: negative size");
-    size_ = n;
     if (n == 0) {
       data_ = nullptr;
+      size_ = 0;
       return;
     }
+    // Refuse element counts whose byte size (including the alignment
+    // round-up) would wrap around std::size_t — a wrapped `bytes` makes
+    // aligned_alloc hand back a tiny buffer that every later write overruns.
+    constexpr std::size_t kMaxBytes =
+        std::numeric_limits<std::size_t>::max() - (kCacheLineBytes - 1);
+    if (static_cast<std::size_t>(n) > kMaxBytes / sizeof(T)) {
+      throw invalid_argument_error("AlignedBuffer: size overflows size_t");
+    }
+    detail::maybe_fail_allocation();
     // Round the byte count up to a multiple of the alignment as required by
     // std::aligned_alloc.
     std::size_t bytes = static_cast<std::size_t>(n) * sizeof(T);
     bytes = (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
-    data_ = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
-    if (data_ == nullptr) throw std::bad_alloc();
+    T* p = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
+    if (p == nullptr) throw std::bad_alloc();
+    // Commit members only after the allocation succeeded, so a throw leaves
+    // the buffer in its released (empty) state rather than size_ > 0 with a
+    // null data_.
+    data_ = p;
+    size_ = n;
   }
 
   void release() noexcept {

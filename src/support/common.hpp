@@ -26,6 +26,15 @@ class io_error : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Exception thrown when a computation breaks down numerically and cannot be
+/// recovered (NaN/Inf propagation, exhausted re-sketch attempts in the
+/// guarded solver). Distinct from invalid_argument_error: the inputs were
+/// structurally fine, the arithmetic went bad.
+class numeric_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Throw invalid_argument_error with `msg` unless `cond` holds.
 inline void require(bool cond, const std::string& msg) {
   if (!cond) throw invalid_argument_error(msg);

@@ -2,17 +2,34 @@
 
 #include <omp.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 #include <string>
 
 namespace rsketch {
+
+void env_warn_once(const char* name, const char* value,
+                   const std::string& fallback_note) {
+  static std::mutex mu;
+  static std::set<std::string> warned;
+  std::lock_guard<std::mutex> lock(mu);
+  if (!warned.insert(name).second) return;
+  std::fprintf(stderr, "rsketch: ignoring invalid %s='%s' (%s)\n", name,
+               value == nullptr ? "" : value, fallback_note.c_str());
+}
 
 long long env_int(const char* name, long long fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
   long long parsed = std::strtoll(v, &end, 10);
-  return (end != nullptr && *end == '\0') ? parsed : fallback;
+  if (end == nullptr || *end != '\0' || end == v) {
+    env_warn_once(name, v, "using default " + std::to_string(fallback));
+    return fallback;
+  }
+  return parsed;
 }
 
 double env_double(const char* name, double fallback) {
@@ -20,7 +37,11 @@ double env_double(const char* name, double fallback) {
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
   double parsed = std::strtod(v, &end);
-  return (end != nullptr && *end == '\0') ? parsed : fallback;
+  if (end == nullptr || *end != '\0' || end == v) {
+    env_warn_once(name, v, "using default " + std::to_string(fallback));
+    return fallback;
+  }
+  return parsed;
 }
 
 std::string env_string(const char* name, const std::string& fallback) {
@@ -28,24 +49,37 @@ std::string env_string(const char* name, const std::string& fallback) {
   return (v == nullptr || *v == '\0') ? fallback : std::string(v);
 }
 
+namespace {
+
+/// Clamp an env-sourced count to >= 1, warning once when the user asked for
+/// something nonsensical (zero or negative).
+long long at_least_one(const char* name, long long value) {
+  if (value >= 1) return value;
+  env_warn_once(name, std::to_string(value).c_str(), "clamping to 1");
+  return 1;
+}
+
+}  // namespace
+
 index_t bench_scale() {
-  long long s = env_int("RSKETCH_SCALE", 6);
-  return s >= 1 ? static_cast<index_t>(s) : 1;
+  return static_cast<index_t>(
+      at_least_one("RSKETCH_SCALE", env_int("RSKETCH_SCALE", 6)));
 }
 
 index_t ls_scale() {
-  long long s = env_int("RSKETCH_LS_SCALE", bench_scale());
-  return s >= 1 ? static_cast<index_t>(s) : 1;
+  return static_cast<index_t>(at_least_one(
+      "RSKETCH_LS_SCALE", env_int("RSKETCH_LS_SCALE", bench_scale())));
 }
 
 int bench_reps() {
-  long long r = env_int("RSKETCH_REPS", 3);
-  return r >= 1 ? static_cast<int>(r) : 1;
+  return static_cast<int>(
+      at_least_one("RSKETCH_REPS", env_int("RSKETCH_REPS", 3)));
 }
 
 int bench_max_threads() {
-  long long t = env_int("RSKETCH_MAX_THREADS", omp_get_max_threads());
-  return t >= 1 ? static_cast<int>(t) : 1;
+  return static_cast<int>(at_least_one(
+      "RSKETCH_MAX_THREADS",
+      env_int("RSKETCH_MAX_THREADS", omp_get_max_threads())));
 }
 
 }  // namespace rsketch

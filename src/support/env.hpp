@@ -12,7 +12,9 @@
 namespace rsketch {
 
 /// Read an integer environment variable, falling back to `fallback` when the
-/// variable is unset or unparsable.
+/// variable is unset or unparsable. An unparsable value additionally warns
+/// once (per variable, per process) on stderr — a typo'd RSKETCH_* setting
+/// should be visible, not a silently different benchmark configuration.
 long long env_int(const char* name, long long fallback);
 
 /// Read a floating-point environment variable with fallback.
@@ -35,5 +37,11 @@ int bench_reps();
 /// Maximum thread count exercised by scaling benches (RSKETCH_MAX_THREADS,
 /// default: OpenMP's max).
 int bench_max_threads();
+
+/// Warn once per (process, variable) on stderr that `name` holds an invalid
+/// value and which fallback is used instead. Subsequent calls for the same
+/// variable are silent, so hot paths can call this unconditionally.
+void env_warn_once(const char* name, const char* value,
+                   const std::string& fallback_note);
 
 }  // namespace rsketch

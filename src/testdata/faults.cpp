@@ -1,0 +1,258 @@
+#include "testdata/faults.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "rng/splitmix64.hpp"
+#include "support/aligned_buffer.hpp"
+
+namespace rsketch {
+namespace faults {
+
+std::string to_string(CscFault fault) {
+  switch (fault) {
+    case CscFault::ShuffledColPtr: return "shuffled_col_ptr";
+    case CscFault::PointerOverrun: return "pointer_overrun";
+    case CscFault::NegativeIndex: return "negative_index";
+    case CscFault::IndexOutOfRange: return "index_out_of_range";
+    case CscFault::UnsortedIndices: return "unsorted_indices";
+    case CscFault::NanPayload: return "nan_payload";
+    case CscFault::InfPayload: return "inf_payload";
+  }
+  return "?";
+}
+
+const std::vector<CscFault>& all_csc_faults() {
+  static const std::vector<CscFault> kAll = {
+      CscFault::ShuffledColPtr, CscFault::PointerOverrun,
+      CscFault::NegativeIndex,  CscFault::IndexOutOfRange,
+      CscFault::UnsortedIndices, CscFault::NanPayload,
+      CscFault::InfPayload,
+  };
+  return kAll;
+}
+
+namespace {
+
+/// Seeded pick from [0, n).
+index_t pick(std::uint64_t seed, std::uint64_t salt, index_t n) {
+  return static_cast<index_t>(mix3(seed, salt, 0x466175617473ULL) %
+                              static_cast<std::uint64_t>(n));
+}
+
+}  // namespace
+
+template <typename T>
+CscMatrix<T> corrupt_csc(const CscMatrix<T>& a, CscFault fault,
+                         std::uint64_t seed) {
+  require(a.cols() >= 2 && a.nnz() >= 2,
+          "corrupt_csc: need at least 2 columns and 2 stored entries");
+  std::vector<index_t> ptr = a.col_ptr();
+  std::vector<index_t> idx = a.row_idx();
+  std::vector<T> val = a.values();
+
+  switch (fault) {
+    case CscFault::ShuffledColPtr: {
+      // Swap two distinct interior pointer entries; if they happen to hold
+      // the same value (empty columns), force a strict inversion instead.
+      const index_t j = pick(seed, 1, a.cols() - 1) + 1;  // 1..n-1
+      index_t k = pick(seed, 2, a.cols() - 1) + 1;
+      if (k == j) k = (j == 1) ? 2 : j - 1;
+      if (ptr[static_cast<std::size_t>(j)] == ptr[static_cast<std::size_t>(k)]) {
+        ptr[static_cast<std::size_t>(std::min(j, k))] =
+            ptr[static_cast<std::size_t>(std::max(j, k))] + 1;
+      } else {
+        std::swap(ptr[static_cast<std::size_t>(j)],
+                  ptr[static_cast<std::size_t>(k)]);
+      }
+      break;
+    }
+    case CscFault::PointerOverrun:
+      ptr.back() = a.nnz() + 1 + pick(seed, 3, 7);
+      break;
+    case CscFault::NegativeIndex:
+      idx[static_cast<std::size_t>(pick(seed, 4, a.nnz()))] = -1;
+      break;
+    case CscFault::IndexOutOfRange:
+      idx[static_cast<std::size_t>(pick(seed, 5, a.nnz()))] = a.rows();
+      break;
+    case CscFault::UnsortedIndices: {
+      // Find a column with >= 2 entries, starting from a seeded column, and
+      // reverse its first two indices (sorted ⇒ strictly increasing, so the
+      // reversal is guaranteed out of order).
+      const index_t start = pick(seed, 6, a.cols());
+      index_t j = -1;
+      for (index_t off = 0; off < a.cols(); ++off) {
+        const index_t cand = (start + off) % a.cols();
+        if (a.col_nnz(cand) >= 2) {
+          j = cand;
+          break;
+        }
+      }
+      if (j < 0) {
+        throw invalid_argument_error(
+            "corrupt_csc: no column with >= 2 entries to unsort");
+      }
+      const std::size_t p = static_cast<std::size_t>(a.col_ptr()[j]);
+      std::swap(idx[p], idx[p + 1]);
+      std::swap(val[p], val[p + 1]);
+      break;
+    }
+    case CscFault::NanPayload:
+      val[static_cast<std::size_t>(pick(seed, 7, a.nnz()))] =
+          std::numeric_limits<T>::quiet_NaN();
+      break;
+    case CscFault::InfPayload:
+      val[static_cast<std::size_t>(pick(seed, 8, a.nnz()))] =
+          std::numeric_limits<T>::infinity();
+      break;
+  }
+  return CscMatrix<T>::adopt_unchecked(a.rows(), a.cols(), std::move(ptr),
+                                       std::move(idx), std::move(val));
+}
+
+std::string to_string(StreamFault fault) {
+  switch (fault) {
+    case StreamFault::CrlfEndings: return "crlf_endings";
+    case StreamFault::TrailingBlank: return "trailing_blank";
+    case StreamFault::Truncated: return "truncated";
+    case StreamFault::GarbageToken: return "garbage_token";
+    case StreamFault::BadHeader: return "bad_header";
+    case StreamFault::DuplicateEntry: return "duplicate_entry";
+  }
+  return "?";
+}
+
+const std::vector<StreamFault>& all_stream_faults() {
+  static const std::vector<StreamFault> kAll = {
+      StreamFault::CrlfEndings,  StreamFault::TrailingBlank,
+      StreamFault::Truncated,    StreamFault::GarbageToken,
+      StreamFault::BadHeader,    StreamFault::DuplicateEntry,
+  };
+  return kAll;
+}
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+bool is_comment_or_blank(const std::string& line) {
+  for (char c : line) {
+    if (c == '%') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Index of the size line (first non-comment, non-blank line after the
+/// banner). Data lines follow it.
+std::size_t size_line_index(const std::vector<std::string>& lines) {
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (!is_comment_or_blank(lines[i])) return i;
+  }
+  throw invalid_argument_error("corrupt_stream: no size line found");
+}
+
+}  // namespace
+
+std::string corrupt_stream(const std::string& mm_text, StreamFault fault,
+                           std::uint64_t seed) {
+  std::vector<std::string> lines = split_lines(mm_text);
+  require(!lines.empty(), "corrupt_stream: empty input");
+  const std::size_t size_line = size_line_index(lines);
+  const std::size_t first_data = size_line + 1;
+  const std::size_t n_data = lines.size() - first_data;
+
+  switch (fault) {
+    case StreamFault::CrlfEndings:
+      for (std::string& l : lines) l += '\r';
+      break;
+    case StreamFault::TrailingBlank:
+      lines.push_back("");
+      lines.push_back("   ");
+      lines.push_back("");
+      break;
+    case StreamFault::Truncated: {
+      require(n_data >= 1, "corrupt_stream: no data lines to truncate");
+      // Drop the tail: the header still advertises the full nnz.
+      const std::size_t keep = static_cast<std::size_t>(
+          pick(seed, 11, static_cast<index_t>(n_data)));
+      lines.resize(first_data + keep);
+      break;
+    }
+    case StreamFault::GarbageToken: {
+      require(n_data >= 1, "corrupt_stream: no data lines to garble");
+      const std::size_t line = first_data + static_cast<std::size_t>(pick(
+                                                seed, 12,
+                                                static_cast<index_t>(n_data)));
+      lines[line] = "1 not_a_number 3.14";
+      break;
+    }
+    case StreamFault::BadHeader:
+      lines[0] = "%%MatrixMarket matrix coordinate real unsymmetric-ish";
+      break;
+    case StreamFault::DuplicateEntry: {
+      require(n_data >= 1, "corrupt_stream: no data lines to duplicate");
+      const std::size_t line = first_data + static_cast<std::size_t>(pick(
+                                                seed, 13,
+                                                static_cast<index_t>(n_data)));
+      // Repeat an existing (i, j) coordinate and bump the advertised nnz so
+      // the count stays consistent — the duplicate itself must be rejected.
+      lines.push_back(lines[line]);
+      std::istringstream is(lines[size_line]);
+      long long m = 0, n = 0, nnz = 0;
+      is >> m >> n >> nnz;
+      std::ostringstream os;
+      os << m << " " << n << " " << (nnz + 1);
+      lines[size_line] = os.str();
+      break;
+    }
+  }
+  return join_lines(lines);
+}
+
+void arm_allocation_failure(long k) {
+  require(k >= 1, "arm_allocation_failure: k must be >= 1");
+  detail::alloc_fail_countdown.store(k, std::memory_order_relaxed);
+}
+
+void disarm_allocation_failure() {
+  detail::alloc_fail_countdown.store(-1, std::memory_order_relaxed);
+}
+
+bool allocation_failure_armed() {
+  return detail::alloc_fail_countdown.load(std::memory_order_relaxed) >= 0;
+}
+
+template CscMatrix<float> corrupt_csc<float>(const CscMatrix<float>&, CscFault,
+                                             std::uint64_t);
+template CscMatrix<double> corrupt_csc<double>(const CscMatrix<double>&,
+                                               CscFault, std::uint64_t);
+
+}  // namespace faults
+}  // namespace rsketch

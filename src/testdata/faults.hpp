@@ -1,0 +1,103 @@
+// Deterministic fault injectors for the robustness test suite.
+//
+// Every injector takes a seed and produces the same corruption for the same
+// (input, fault, seed) triple, so a failing test names a reproducible case.
+// Structural corruptions bypass the validating CscMatrix constructor via
+// adopt_unchecked — exactly the path a buggy builder or a bit-flipped file
+// would take — and are expected to be caught by sparse/validate.hpp, never
+// by a crash. See docs/ROBUSTNESS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace rsketch {
+namespace faults {
+
+/// Structural / numeric corruptions of a CSC matrix.
+enum class CscFault {
+  ShuffledColPtr,   ///< two interior col_ptr entries swapped → non-monotone
+  PointerOverrun,   ///< final col_ptr entry raised past nnz
+  NegativeIndex,    ///< one row index set to -1
+  IndexOutOfRange,  ///< one row index set to rows()
+  UnsortedIndices,  ///< two indices inside one column swapped
+  NanPayload,       ///< one stored value replaced by quiet NaN
+  InfPayload,       ///< one stored value replaced by +Inf
+};
+
+std::string to_string(CscFault fault);
+
+/// Every CscFault, for parameterized sweeps.
+const std::vector<CscFault>& all_csc_faults();
+
+/// True for the faults that only damage the numeric payload: the matrix stays
+/// structurally valid and validate_csc reports structurally_valid() == true.
+inline bool is_value_fault(CscFault fault) {
+  return fault == CscFault::NanPayload || fault == CscFault::InfPayload;
+}
+
+/// Return a corrupted copy of `a`. The victim column/entry is chosen from
+/// `seed`; requires a matrix with at least 2 columns and 2 stored entries
+/// (and ≥2 entries in some column for UnsortedIndices — the chooser walks
+/// from the seeded start to find one, throwing invalid_argument_error if the
+/// matrix has no such column).
+template <typename T>
+CscMatrix<T> corrupt_csc(const CscMatrix<T>& a, CscFault fault,
+                         std::uint64_t seed);
+
+/// Corruptions of a Matrix Market text stream. The first two are tolerance
+/// checks (the reader must PARSE them), the rest must be rejected with
+/// io_error.
+enum class StreamFault {
+  CrlfEndings,     ///< every \n becomes \r\n — must still parse
+  TrailingBlank,   ///< blank/whitespace lines appended — must still parse
+  Truncated,       ///< stream cut off before the advertised nnz entries
+  GarbageToken,    ///< a numeric token replaced with letters
+  BadHeader,       ///< banner mangled
+  DuplicateEntry,  ///< one coordinate line repeated — silent summing forbidden
+};
+
+std::string to_string(StreamFault fault);
+
+const std::vector<StreamFault>& all_stream_faults();
+
+/// True when the reader is expected to accept the corrupted stream.
+inline bool is_tolerated(StreamFault fault) {
+  return fault == StreamFault::CrlfEndings ||
+         fault == StreamFault::TrailingBlank;
+}
+
+/// Return a corrupted copy of a Matrix Market text blob.
+std::string corrupt_stream(const std::string& mm_text, StreamFault fault,
+                           std::uint64_t seed);
+
+/// Arm the AlignedBuffer allocation-failure hook: the k-th subsequent
+/// allocation (k ≥ 1) throws std::bad_alloc, then the hook disarms itself.
+void arm_allocation_failure(long k);
+
+/// Disarm the hook without waiting for it to fire.
+void disarm_allocation_failure();
+
+bool allocation_failure_armed();
+
+/// RAII guard: arms on construction, disarms on destruction (whether or not
+/// the failure fired), so a throwing test body cannot leak an armed hook
+/// into later tests.
+class ScopedAllocationFailure {
+ public:
+  explicit ScopedAllocationFailure(long k) { arm_allocation_failure(k); }
+  ~ScopedAllocationFailure() { disarm_allocation_failure(); }
+  ScopedAllocationFailure(const ScopedAllocationFailure&) = delete;
+  ScopedAllocationFailure& operator=(const ScopedAllocationFailure&) = delete;
+};
+
+extern template CscMatrix<float> corrupt_csc<float>(const CscMatrix<float>&,
+                                                    CscFault, std::uint64_t);
+extern template CscMatrix<double> corrupt_csc<double>(const CscMatrix<double>&,
+                                                      CscFault, std::uint64_t);
+
+}  // namespace faults
+}  // namespace rsketch

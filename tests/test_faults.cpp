@@ -1,0 +1,173 @@
+// Fault-injection suite: every deliberately corrupted input must end in a
+// typed exception or a recovery — never a wrong answer, never a crash.
+// Covers the CSC corruptors against sketch(), the Matrix Market stream
+// corruptors against the reader, the allocation-failure hook, and the
+// arithmetic-overflow guards.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <new>
+#include <sstream>
+
+#include "dense/dense_matrix.hpp"
+#include "sketch/sketch.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/validate.hpp"
+#include "support/aligned_buffer.hpp"
+#include "testdata/faults.hpp"
+
+namespace rsketch {
+namespace {
+
+CscMatrix<double> base_matrix() {
+  return random_sparse<double>(50, 32, 0.15, 77);
+}
+
+SketchConfig checked_config(index_t n) {
+  SketchConfig cfg;
+  cfg.d = 2 * n;
+  cfg.seed = 42;
+  cfg.check_inputs = true;
+  return cfg;
+}
+
+// --- CSC corruptions against the sketch entry point -------------------------
+
+TEST(Faults, SketchRejectsEveryCorruptionWhenChecksOn) {
+  const auto a = base_matrix();
+  for (faults::CscFault fault : faults::all_csc_faults()) {
+    const auto bad = faults::corrupt_csc(a, fault, 5);
+    DenseMatrix<double> out;
+    EXPECT_THROW(sketch_into(checked_config(a.cols()), bad, out),
+                 validation_error)
+        << "fault " << faults::to_string(fault) << " was not rejected";
+  }
+}
+
+TEST(Faults, CorruptionIsDeterministicInTheSeed) {
+  const auto a = base_matrix();
+  for (faults::CscFault fault : faults::all_csc_faults()) {
+    const auto x = faults::corrupt_csc(a, fault, 123);
+    const auto y = faults::corrupt_csc(a, fault, 123);
+    EXPECT_EQ(x.col_ptr(), y.col_ptr());
+    EXPECT_EQ(x.row_idx(), y.row_idx());
+    // Values compare bitwise-identical except NaN != NaN; compare the
+    // reports instead, which count non-finite payloads.
+    EXPECT_EQ(validate_csc(x).findings_total, validate_csc(y).findings_total);
+  }
+}
+
+TEST(Faults, ValueFaultsPassWithChecksOffAndPropagateNonFinite) {
+  // With checks off, a NaN payload is the caller's problem — but it must
+  // surface as NaN in the sketch (garbage in, garbage out), never abort.
+  const auto a = base_matrix();
+  const auto bad = faults::corrupt_csc(a, faults::CscFault::NanPayload, 5);
+  SketchConfig cfg = checked_config(a.cols());
+  cfg.check_inputs = false;
+  DenseMatrix<double> out;
+  EXPECT_NO_THROW(sketch_into(cfg, bad, out));
+  index_t non_finite = 0;
+  for (index_t j = 0; j < out.cols(); ++j) {
+    non_finite += count_non_finite(out.col(j), out.rows());
+  }
+  EXPECT_GT(non_finite, 0);
+}
+
+// --- Matrix Market stream corruptions ---------------------------------------
+
+std::string sample_mm() {
+  const auto a = base_matrix();
+  std::ostringstream os;
+  write_matrix_market(os, a);
+  return os.str();
+}
+
+TEST(Faults, ToleratedStreamFaultsStillParse) {
+  const std::string mm = sample_mm();
+  const auto reference = [&] {
+    std::istringstream is(mm);
+    return read_matrix_market<double>(is);
+  }();
+  for (faults::StreamFault fault : faults::all_stream_faults()) {
+    if (!faults::is_tolerated(fault)) continue;
+    const std::string mangled = faults::corrupt_stream(mm, fault, 3);
+    std::istringstream is(mangled);
+    CscMatrix<double> got;
+    ASSERT_NO_THROW(got = read_matrix_market<double>(is))
+        << faults::to_string(fault);
+    EXPECT_EQ(got.nnz(), reference.nnz()) << faults::to_string(fault);
+    EXPECT_EQ(got.col_ptr(), reference.col_ptr()) << faults::to_string(fault);
+  }
+}
+
+TEST(Faults, RejectedStreamFaultsThrowIoError) {
+  const std::string mm = sample_mm();
+  for (faults::StreamFault fault : faults::all_stream_faults()) {
+    if (faults::is_tolerated(fault)) continue;
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const std::string mangled = faults::corrupt_stream(mm, fault, seed);
+      std::istringstream is(mangled);
+      EXPECT_THROW(read_matrix_market<double>(is), io_error)
+          << faults::to_string(fault) << " seed " << seed;
+    }
+  }
+}
+
+// --- Allocation-failure hook ------------------------------------------------
+
+TEST(Faults, ArmedAllocationFailureThrowsBadAllocAndDisarms) {
+  faults::ScopedAllocationFailure arm(1);
+  EXPECT_TRUE(faults::allocation_failure_armed());
+  EXPECT_THROW(AlignedBuffer<double>(16), std::bad_alloc);
+  EXPECT_FALSE(faults::allocation_failure_armed());
+  // Subsequent allocations succeed: the hook fired exactly once.
+  EXPECT_NO_THROW(AlignedBuffer<double>(16));
+}
+
+TEST(Faults, CountdownSkipsEarlierAllocations) {
+  faults::ScopedAllocationFailure arm(3);
+  EXPECT_NO_THROW(AlignedBuffer<double>(8));
+  EXPECT_NO_THROW(AlignedBuffer<double>(8));
+  EXPECT_THROW(AlignedBuffer<double>(8), std::bad_alloc);
+}
+
+TEST(Faults, AllocationFailureLeavesBufferEmpty) {
+  AlignedBuffer<double> buf;
+  {
+    faults::ScopedAllocationFailure arm(1);
+    EXPECT_THROW(buf.reset(32), std::bad_alloc);
+  }
+  // The strong-ish guarantee: a failed reset leaves a released buffer, not a
+  // size > 0 shell around a null pointer.
+  EXPECT_EQ(buf.size(), 0);
+  EXPECT_EQ(buf.data(), nullptr);
+  EXPECT_NO_THROW(buf.reset(32));
+  EXPECT_EQ(buf.size(), 32);
+}
+
+TEST(Faults, MidSketchAllocationFailurePropagatesCleanly) {
+  // The sketch allocates its output panel; an allocation failure mid-call
+  // must surface as bad_alloc, not a crash or a half-written result.
+  const auto a = base_matrix();
+  DenseMatrix<double> out;
+  faults::ScopedAllocationFailure arm(1);
+  EXPECT_THROW(out.reset(2 * a.cols(), a.cols()), std::bad_alloc);
+}
+
+// --- Overflow guards --------------------------------------------------------
+
+TEST(Faults, AlignedBufferSizeOverflowIsRejected) {
+  constexpr index_t kHuge = std::numeric_limits<index_t>::max() / 2;
+  EXPECT_THROW(AlignedBuffer<double>{kHuge}, invalid_argument_error);
+}
+
+TEST(Faults, DenseMatrixProductOverflowIsRejected) {
+  constexpr index_t kBig = index_t{1} << 32;  // kBig^2 wraps int64
+  DenseMatrix<double> m;
+  EXPECT_THROW(m.reset(kBig, kBig), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace rsketch

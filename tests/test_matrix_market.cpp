@@ -113,6 +113,64 @@ TEST(MatrixMarket, MalformedInputsThrow) {
       io_error);  // missing value for real field
 }
 
+TEST(MatrixMarket, CrlfLineEndingsParse) {
+  // Files written on Windows end every line with \r\n; the trailing \r used
+  // to leak into the symmetry token and blank-line checks.
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\r\n"
+      "% comment\r\n"
+      "3 3 2\r\n"
+      "2 1 5.0\r\n"
+      "3 3 7.0\r\n");
+  const auto a = read_matrix_market<double>(ss);
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 5.0);
+}
+
+TEST(MatrixMarket, BlankAndWhitespaceLinesTolerated) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "\n"
+      "   \n"
+      "2 2 2\n"
+      "1 1 1.5\n"
+      "  \n"
+      "2 2 2.5\n"
+      "\n"
+      "   \n");
+  const auto a = read_matrix_market<double>(ss);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 2.5);
+}
+
+TEST(MatrixMarket, DuplicateEntriesRejected) {
+  // Silently summing duplicates turns a malformed file into a plausible but
+  // wrong matrix; the reader must refuse instead.
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.0\n"
+      "2 2 2.0\n"
+      "1 1 4.0\n");
+  EXPECT_THROW(read_matrix_market<double>(ss), io_error);
+}
+
+TEST(MatrixMarket, SymmetricDiagonalIsNotADuplicate) {
+  // Mirroring must not double the diagonal and then trip duplicate rejection.
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 3\n"
+      "1 1 1.0\n"
+      "2 1 5.0\n"
+      "2 2 3.0\n");
+  const auto a = read_matrix_market<double>(ss);
+  EXPECT_EQ(a.nnz(), 4);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 5.0);
+}
+
 TEST(MatrixMarket, FileRoundTripAndMissingFile) {
   const auto a = random_sparse<double>(10, 10, 0.3, 3);
   const std::string path = ::testing::TempDir() + "/rsketch_test.mtx";

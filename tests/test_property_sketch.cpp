@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "dense/blas1.hpp"
 #include "rng/distributions.hpp"
 #include "sketch/sketch.hpp"
+#include "sparse/validate.hpp"
 #include "solvers/qr.hpp"
 #include "solvers/svd.hpp"
 #include "solvers/triangular.hpp"
@@ -124,6 +126,40 @@ TEST(SketchMoments, EntriesOfSHaveUnitSecondMomentAfterNormalize) {
   }
   // After normalization each entry has variance 1/d, so the total is ≈ m.
   EXPECT_NEAR(sum2, 64.0, 64.0 * 0.15);
+}
+
+TEST(SketchNonFinite, ChecksOnThrowsChecksOffPropagatesColumnwise) {
+  // Â[:, j] = S·A[:, j]: a non-finite payload in column j must either be
+  // rejected up front (check_inputs on) or poison exactly column j of the
+  // sketch — S is dense, so every entry of that column goes non-finite while
+  // every other column stays clean.
+  auto a = random_sparse<double>(200, 24, 0.15, 31);
+  const index_t nan_col = 5, inf_col = 17;
+  ASSERT_GT(a.col_nnz(nan_col), 0);
+  ASSERT_GT(a.col_nnz(inf_col), 0);
+  std::vector<double>& vals = a.values();
+  vals[static_cast<std::size_t>(a.col_ptr()[nan_col])] = std::nan("");
+  vals[static_cast<std::size_t>(a.col_ptr()[inf_col])] =
+      std::numeric_limits<double>::infinity();
+
+  SketchConfig cfg;
+  cfg.d = 72;
+  cfg.seed = 9;
+  cfg.normalize = true;
+
+  cfg.check_inputs = true;
+  EXPECT_THROW(sketch(cfg, a), validation_error);
+
+  cfg.check_inputs = false;
+  const auto a_hat = sketch(cfg, a);
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const index_t bad = count_non_finite(a_hat.col(j), a_hat.rows());
+    if (j == nan_col || j == inf_col) {
+      EXPECT_EQ(bad, a_hat.rows()) << "poisoned column " << j;
+    } else {
+      EXPECT_EQ(bad, 0) << "clean column " << j << " was contaminated";
+    }
+  }
 }
 
 }  // namespace

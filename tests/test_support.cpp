@@ -189,6 +189,29 @@ TEST(Env, BenchScaleFloor) {
   ::unsetenv("RSKETCH_SCALE");
 }
 
+TEST(Env, PartiallyNumericValueFallsBack) {
+  // strtoll would happily parse the "12" prefix of "12threads"; the reader
+  // must treat the whole token as invalid instead.
+  ::setenv("RSKETCH_TEST_ENV3", "12threads", 1);
+  EXPECT_EQ(env_int("RSKETCH_TEST_ENV3", 5), 5);
+  ::setenv("RSKETCH_TEST_ENV3", "1.5x", 1);
+  EXPECT_DOUBLE_EQ(env_double("RSKETCH_TEST_ENV3", 0.25), 0.25);
+  ::unsetenv("RSKETCH_TEST_ENV3");
+}
+
+TEST(Env, InvalidValueWarnsExactlyOnce) {
+  ::setenv("RSKETCH_TEST_WARN", "garbage", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_int("RSKETCH_TEST_WARN", 3), 3);
+  const std::string first = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(first.find("RSKETCH_TEST_WARN"), std::string::npos);
+  EXPECT_NE(first.find("garbage"), std::string::npos);
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(env_int("RSKETCH_TEST_WARN", 3), 3);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+  ::unsetenv("RSKETCH_TEST_WARN");
+}
+
 TEST(Cli, ParsesKeyValueForms) {
   // Note: a bare token following `--flag` is consumed as the flag's value
   // (documented `--key value` form), so positionals precede flags here.
