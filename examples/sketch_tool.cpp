@@ -18,6 +18,7 @@
 #include "perf/report.hpp"
 #include "sketch/autotune.hpp"
 #include "sketch/sketch.hpp"
+#include "sketch/tuner.hpp"
 #include "solvers/guarded.hpp"
 #include "solvers/least_squares.hpp"
 #include "solvers/sap.hpp"
@@ -37,11 +38,14 @@ int usage(const char* prog) {
                "usage:\n"
                "  %s sketch --in A.mtx --out Ahat.mtx [--gamma G] "
                "[--dist pm1|uniform|gauss] [--kernel kji|jki] [--seed S]\n"
+               "            [--tune off|model|empirical|cached]\n"
                "  %s solve  --in A.mtx [--rhs b.txt] [--svd] [--gamma G] "
                "[--guarded] [--attempts N]\n"
                "  %s info   --in A.mtx\n"
                "common flags: --no-check disables the input validators "
-               "(structure + NaN/Inf scan), on by default\n",
+               "(structure + NaN/Inf scan), on by default;\n"
+               "  --tune selects block/kernel/backend autotuning "
+               "(docs/AUTOTUNING.md; default: model blocks only)\n",
                prog, prog, prog);
   return 2;
 }
@@ -96,7 +100,23 @@ int cmd_sketch(const CliArgs& args, const CscMatrix<double>& a) {
                                          : KernelVariant::Kji;
   cfg.normalize = true;
   cfg.check_inputs = !args.has("no-check");
-  autotune_blocks(cfg, a);
+  TuneDecision decision;
+  const std::string tune = args.get("tune", "");
+  if (tune.empty()) {
+    // Historical default: model-suggested blocks, caller's kernel/backend.
+    autotune_blocks(cfg, a);
+  } else {
+    cfg.tune = parse_tune_mode(tune);
+    cfg = resolve_tuning(cfg, a, &decision);
+    std::printf("tuner: %s -> %s", to_string(decision.source).c_str(),
+                decision.choice.label().c_str());
+    if (decision.candidates_timed > 0) {
+      std::printf(" (%d candidates timed, winner pilot %.3f ms)",
+                  decision.candidates_timed, decision.pilot_seconds * 1e3);
+    }
+    if (decision.source == TuneSource::Cache) std::printf(" (cache hit)");
+    std::printf("\n");
+  }
   std::printf("sketching: d=%lld, dist=%s, kernel=%s, blocks=(%lld, %lld)\n",
               static_cast<long long>(cfg.d), to_string(cfg.dist).c_str(),
               to_string(cfg.kernel).c_str(),
@@ -111,6 +131,11 @@ int cmd_sketch(const CliArgs& args, const CscMatrix<double>& a) {
   report.config("kernel", to_string(cfg.kernel));
   report.config("block_d", static_cast<long long>(cfg.block_d));
   report.config("block_n", static_cast<long long>(cfg.block_n));
+  if (!tune.empty()) {
+    report.config("tune", tune);
+    report.config("tune_source", to_string(decision.source));
+    report.config("tune_choice", decision.choice.label());
+  }
   perf::PerfEventGroup hw;
   if (report.active()) hw.start();
 

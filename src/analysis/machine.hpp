@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "rng/distributions.hpp"
 #include "support/common.hpp"
@@ -35,5 +36,11 @@ double measure_h(Dist dist, RngBackend backend, const StreamResult& stream,
 
 /// Last-level data cache size in bytes (sysconf, with a 1 MiB fallback).
 std::size_t detect_cache_bytes();
+
+/// Stable, human-readable signature of this host for keying tuning results:
+/// "<hostname>|cpus=<N>|omp=<M>|cache=<bytes>". Deliberately excludes
+/// anything that changes run to run (load, frequency); includes the OpenMP
+/// thread budget because the best schedule depends on it.
+std::string machine_signature();
 
 }  // namespace rsketch

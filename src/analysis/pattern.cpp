@@ -17,6 +17,31 @@ std::vector<index_t> row_degree_histogram(const CscMatrix<T>& a) {
 }
 
 template <typename T>
+RowDegreeStats row_degree_stats(const CscMatrix<T>& a) {
+  RowDegreeStats s;
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  if (m == 0 || n == 0) return s;
+  std::vector<index_t> per_row(static_cast<std::size_t>(m), 0);
+  for (index_t r : a.row_idx()) ++per_row[static_cast<std::size_t>(r)];
+  double sum = 0.0, sum_sq = 0.0;
+  index_t empty = 0, max_deg = 0;
+  for (index_t k : per_row) {
+    sum += static_cast<double>(k);
+    sum_sq += static_cast<double>(k) * static_cast<double>(k);
+    if (k == 0) ++empty;
+    max_deg = std::max(max_deg, k);
+  }
+  s.mean = sum / static_cast<double>(m);
+  const double var =
+      std::max(0.0, sum_sq / static_cast<double>(m) - s.mean * s.mean);
+  s.cv = s.mean > 0.0 ? std::sqrt(var) / s.mean : 0.0;
+  s.empty_fraction = static_cast<double>(empty) / static_cast<double>(m);
+  s.max_fraction = static_cast<double>(max_deg) / static_cast<double>(n);
+  return s;
+}
+
+template <typename T>
 double expected_regen_fraction(const CscMatrix<T>& a, double n1) {
   const index_t m = a.rows();
   const index_t n = a.cols();
@@ -77,6 +102,7 @@ double optimal_n1_for_matrix(const CscMatrix<T>& a, const RooflineParams& p) {
 #define RSKETCH_INSTANTIATE(T)                                             \
   template std::vector<index_t> row_degree_histogram<T>(                   \
       const CscMatrix<T>&);                                                \
+  template RowDegreeStats row_degree_stats<T>(const CscMatrix<T>&);        \
   template double expected_regen_fraction<T>(const CscMatrix<T>&, double); \
   template double inverse_ci_pattern<T>(const CscMatrix<T>&,               \
                                         const RooflineParams&, double);    \

@@ -23,6 +23,21 @@ namespace rsketch {
 template <typename T>
 std::vector<index_t> row_degree_histogram(const CscMatrix<T>& a);
 
+/// Summary statistics of the row-degree distribution — the pattern features
+/// the tuner's matrix fingerprint buckets on (sketch/tuner.hpp). `cv` is the
+/// coefficient of variation (std/mean, 0 for uniform patterns and empty
+/// matrices); `empty_fraction` the share of all-zero rows; `max_fraction`
+/// the densest row's degree over n (1.0 for an Abnormal_A-style dense row).
+struct RowDegreeStats {
+  double mean = 0.0;
+  double cv = 0.0;
+  double empty_fraction = 0.0;
+  double max_fraction = 0.0;
+};
+
+template <typename T>
+RowDegreeStats row_degree_stats(const CscMatrix<T>& a);
+
 /// Expected fraction of rows that must be regenerated for a random vertical
 /// block of n1 columns, under the empirical row-degree distribution:
 ///   (1/m) Σ_i [1 - (1 - kᵢ/n)^{n₁}].
@@ -47,6 +62,9 @@ double optimal_n1_for_matrix(const CscMatrix<T>& a, const RooflineParams& p);
 extern template std::vector<index_t> row_degree_histogram<float>(
     const CscMatrix<float>&);
 extern template std::vector<index_t> row_degree_histogram<double>(
+    const CscMatrix<double>&);
+extern template RowDegreeStats row_degree_stats<float>(const CscMatrix<float>&);
+extern template RowDegreeStats row_degree_stats<double>(
     const CscMatrix<double>&);
 extern template double expected_regen_fraction<float>(const CscMatrix<float>&,
                                                       double);

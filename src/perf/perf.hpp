@@ -37,6 +37,9 @@ enum class Counter : int {
   BytesGenerated,  ///< bytes of S produced (never stored)
   KernelBlocks,    ///< kernel invocations (outer block pairs)
   SketchCalls,     ///< top-level sketch_into / streaming_sketch calls
+  TunerCacheHits,        ///< tuning-cache lookups answered without re-timing
+  TunerCacheMisses,      ///< tuning-cache lookups that fell through
+  TunerCandidatesTimed,  ///< pilot sub-sketches timed by the empirical tuner
   kCount
 };
 

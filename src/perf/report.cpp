@@ -146,6 +146,9 @@ Json ReportBuilder::build() const {
   counters["bytes_generated"] = totals.bytes_generated;
   counters["kernel_blocks"] = totals.kernel_blocks;
   counters["sketch_calls"] = snap.get(Counter::SketchCalls);
+  counters["tuner_cache_hits"] = snap.get(Counter::TunerCacheHits);
+  counters["tuner_cache_misses"] = snap.get(Counter::TunerCacheMisses);
+  counters["tuner_candidates_timed"] = snap.get(Counter::TunerCandidatesTimed);
   for (const auto& [k, v] : extra_counters_.members()) counters[k] = v;
   doc["counters"] = std::move(counters);
 

@@ -23,10 +23,18 @@ BlockSuggestion suggest_blocks(index_t m, index_t n, index_t d, double density,
   const ModelBlocks mb = model_blocks(p, n1);
 
   BlockSuggestion s;
-  s.block_n = std::clamp<index_t>(static_cast<index_t>(std::llround(n1)), 1, n);
-  // d₁ = M/(2n₁) from the balanced cache split, clamped to [64, d].
-  s.block_d = std::clamp<index_t>(static_cast<index_t>(std::llround(mb.d1)),
-                                  std::min<index_t>(64, d), d);
+  // llround on a non-finite or out-of-range double is undefined; tiny inputs
+  // (m below the probe sizes, degenerate caches) can push the model there.
+  // Route every suggestion through explicit [1, n] / [1, d] clamps so the
+  // kernels always get usable block sizes, never 0.
+  const index_t n1_int =
+      std::isfinite(n1) ? static_cast<index_t>(std::llround(n1)) : n;
+  s.block_n = std::clamp<index_t>(n1_int, 1, n);
+  // d₁ = M/(2n₁) from the balanced cache split, clamped to [min(64, d), d].
+  const index_t d1_int =
+      std::isfinite(mb.d1) ? static_cast<index_t>(std::llround(mb.d1)) : d;
+  s.block_d = std::clamp<index_t>(d1_int, std::min<index_t>(64, d), d);
+  s.block_d = std::clamp<index_t>(s.block_d, 1, d);
   s.model_ci = ci(p, n1);
   return s;
 }

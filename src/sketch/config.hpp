@@ -27,8 +27,19 @@ enum class ParallelOver {
   NBlocks      ///< threads split the n-dimension (columns of Â and A)
 };
 
+/// How sketch_into() chooses (kernel, blocks, backend) before dispatching
+/// (sketch/tuner.hpp; see docs/AUTOTUNING.md).
+enum class TuneMode {
+  Off,        ///< use the caller's config verbatim (default; zero overhead)
+  Model,      ///< §III-A model via suggest_blocks() — one cheap machine probe
+  Empirical,  ///< time a candidate set on a pilot sub-sketch, pick the winner
+  Cached      ///< empirical, with the winner persisted in the tuning cache
+              ///< keyed by (machine signature, matrix fingerprint)
+};
+
 std::string to_string(KernelVariant k);
 std::string to_string(ParallelOver p);
+std::string to_string(TuneMode t);
 
 /// Full specification of a sketch Â = S·A.
 struct SketchConfig {
@@ -48,6 +59,10 @@ struct SketchConfig {
   /// default in the library hot path (one branch, zero scans); sketch_tool
   /// turns it on. See docs/ROBUSTNESS.md.
   bool check_inputs = false;
+  /// Autotuning mode: when not Off, sketch_into() resolves (kernel, block_d,
+  /// block_n, backend) through sketch/tuner.hpp before dispatching. The hot
+  /// path pays one branch when Off. See docs/AUTOTUNING.md.
+  TuneMode tune = TuneMode::Off;
 
   /// Throws invalid_argument_error when structurally invalid.
   void validate(index_t m, index_t n) const {

@@ -6,6 +6,7 @@
 #include "dense/blas1.hpp"
 #include "perf/perf.hpp"
 #include "sketch/outer_blocking.hpp"
+#include "sketch/tuner.hpp"
 #include "sparse/validate.hpp"
 #include "support/timer.hpp"
 
@@ -24,6 +25,16 @@ std::string to_string(ParallelOver p) {
     case ParallelOver::Sequential: return "sequential";
     case ParallelOver::DBlocks: return "parallel-d";
     case ParallelOver::NBlocks: return "parallel-n";
+  }
+  return "?";
+}
+
+std::string to_string(TuneMode t) {
+  switch (t) {
+    case TuneMode::Off: return "off";
+    case TuneMode::Model: return "model";
+    case TuneMode::Empirical: return "empirical";
+    case TuneMode::Cached: return "cached";
   }
   return "?";
 }
@@ -57,6 +68,12 @@ void apply_post_scale(const SketchConfig& cfg, DenseMatrix<T>& a_hat) {
 template <typename T>
 SketchStats sketch_into(const SketchConfig& cfg, const CscMatrix<T>& a,
                         DenseMatrix<T>& a_hat, bool instrument) {
+  if (cfg.tune != TuneMode::Off) {
+    // Resolve (kernel, blocks, backend) through the tuner, then dispatch the
+    // effective config — which carries tune == Off, so this recurses once.
+    const SketchConfig effective = resolve_tuning(cfg, a);
+    return sketch_into(effective, a, a_hat, instrument);
+  }
   cfg.validate(a.rows(), a.cols());
   if (cfg.check_inputs) {
     perf::Span span("validate_inputs");

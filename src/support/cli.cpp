@@ -7,19 +7,22 @@ namespace rsketch {
 CliArgs::CliArgs(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
   for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
+    const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
       positional_.push_back(arg);
       continue;
     }
-    arg = arg.substr(2);
-    auto eq = arg.find('=');
+    // insert_or_assign with pre-built strings keeps basic_string::assign
+    // (char*) out of the inline path; GCC 12 falsely flags that path with
+    // -Wrestrict under -O2 (PR105329), which -Werror would make fatal.
+    const std::string body = arg.substr(2);
+    auto eq = body.find('=');
     if (eq != std::string::npos) {
-      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      kv_.insert_or_assign(body.substr(0, eq), body.substr(eq + 1));
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      kv_[arg] = argv[++i];
+      kv_.insert_or_assign(body, std::string(argv[++i]));
     } else {
-      kv_[arg] = "1";  // bare boolean flag
+      kv_.insert_or_assign(body, std::string("1"));  // bare boolean flag
     }
   }
 }

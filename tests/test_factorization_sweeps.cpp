@@ -66,7 +66,9 @@ TEST_P(FactorizationShapes, SvdInvariantsHold) {
 
   double s2 = 0.0;
   for (std::size_t t = 0; t < svd.sigma.size(); ++t) {
-    if (t > 0) EXPECT_GE(svd.sigma[t - 1], svd.sigma[t]);
+    if (t > 0) {
+      EXPECT_GE(svd.sigma[t - 1], svd.sigma[t]);
+    }
     EXPECT_GE(svd.sigma[t], 0.0);
     s2 += static_cast<double>(svd.sigma[t]) * svd.sigma[t];
   }

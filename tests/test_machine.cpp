@@ -69,6 +69,25 @@ TEST(SuggestBlocks, CheapRngPrefersNarrowColumns) {
   EXPECT_LE(cheap.block_n, costly.block_n);
 }
 
+TEST(SuggestBlocks, TinyProblemsStayClamped) {
+  // Regression: for m < 64 the cache-constraint optimum lands beyond the
+  // matrix, and the old code handed kernels block_d > d / block_n > n (or 0).
+  for (const index_t m : {1, 2, 7, 33, 63}) {
+    const auto s = suggest_blocks(m, m, m, 0.5, 1 << 20, 0.1, 8);
+    EXPECT_GE(s.block_d, 1) << "m=" << m;
+    EXPECT_LE(s.block_d, m) << "m=" << m;
+    EXPECT_GE(s.block_n, 1) << "m=" << m;
+    EXPECT_LE(s.block_n, m) << "m=" << m;
+  }
+  // Degenerate density: the intensity model divides by rho; the suggestion
+  // must still come back clamped instead of overflowing through llround.
+  const auto s = suggest_blocks(50, 10, 20, 1e-12, 1 << 20, 0.1, 8);
+  EXPECT_GE(s.block_n, 1);
+  EXPECT_LE(s.block_n, 10);
+  EXPECT_GE(s.block_d, 1);
+  EXPECT_LE(s.block_d, 20);
+}
+
 TEST(SuggestBlocks, InvalidArgsThrow) {
   EXPECT_THROW(suggest_blocks(10, 0, 5, 0.1, 1024, 0.1, 4),
                invalid_argument_error);

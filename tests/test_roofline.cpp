@@ -85,7 +85,9 @@ TEST(Roofline, OptimizerBeatsNeighbors) {
   const double n1 = optimal_n1(p, 1e5);
   const double f = inverse_ci(p, n1);
   EXPECT_LE(f, inverse_ci(p, n1 + 1.0) + 1e-15);
-  if (n1 > 1.0) EXPECT_LE(f, inverse_ci(p, n1 - 1.0) + 1e-15);
+  if (n1 > 1.0) {
+    EXPECT_LE(f, inverse_ci(p, n1 - 1.0) + 1e-15);
+  }
 }
 
 TEST(Roofline, PeakFractionCapsAtOne) {

@@ -63,7 +63,7 @@ TEST(AlignedBuffer, EmptyAndReset) {
 TEST(Timer, MeasuresElapsed) {
   Timer t;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.seconds(), 0.0);
   (void)sink;
 }

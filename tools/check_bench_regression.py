@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_*.json report against a committed baseline.
+
+Deterministic software counters (samples generated, bytes moved, flops, ...)
+must not regress by more than --tolerance; wall time is warn-only, because CI
+runners are noisy but the counters are exact functions of the workload.
+
+Exit codes: 0 pass (warnings allowed), 1 counter regression or broken input.
+
+Usage:
+  check_bench_regression.py CURRENT BASELINE [--tolerance 0.10]
+                            [--time-tolerance 0.50]
+
+The baseline's "counters" object defines the gated set: every key present in
+the baseline is checked in the current report. An intentional improvement
+(counters dropping by more than the tolerance) warns and asks for a baseline
+refresh rather than failing, so wins don't rot the gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+def total_seconds(doc):
+    return sum(
+        row.get("seconds", 0.0)
+        for row in doc.get("timings", [])
+        if isinstance(row, dict)
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="freshly produced BENCH_*.json")
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="max fractional counter increase before failing (default 0.10)",
+    )
+    ap.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=0.50,
+        help="fractional wall-time increase that triggers a warning "
+        "(default 0.50; never fails)",
+    )
+    args = ap.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    cur_counters = current.get("counters")
+    base_counters = baseline.get("counters")
+    if not isinstance(cur_counters, dict) or not isinstance(base_counters, dict):
+        print("error: both reports need a 'counters' object", file=sys.stderr)
+        return 1
+
+    failures = 0
+    warnings = 0
+    width = max((len(k) for k in base_counters), default=10)
+    print(f"{'counter':<{width}}  {'baseline':>15}  {'current':>15}  change")
+    for key, base in sorted(base_counters.items()):
+        if not isinstance(base, (int, float)):
+            continue
+        cur = cur_counters.get(key)
+        if not isinstance(cur, (int, float)):
+            print(f"{key:<{width}}  {base:>15}  {'MISSING':>15}  FAIL")
+            failures += 1
+            continue
+        if base == 0:
+            status = "ok" if cur == 0 else "FAIL (new work vs. zero baseline)"
+            if cur != 0:
+                failures += 1
+            print(f"{key:<{width}}  {base:>15}  {cur:>15}  {status}")
+            continue
+        rel = (cur - base) / base
+        if rel > args.tolerance:
+            status = f"FAIL (+{rel:.1%} > {args.tolerance:.0%})"
+            failures += 1
+        elif rel < -args.tolerance:
+            status = f"warn ({rel:.1%}; improvement — refresh the baseline)"
+            warnings += 1
+        else:
+            status = f"ok ({rel:+.1%})"
+        print(f"{key:<{width}}  {base:>15}  {cur:>15}  {status}")
+
+    base_secs = total_seconds(baseline)
+    cur_secs = total_seconds(current)
+    if base_secs > 0:
+        rel = (cur_secs - base_secs) / base_secs
+        label = "warn" if rel > args.time_tolerance else "ok"
+        if rel > args.time_tolerance:
+            warnings += 1
+        print(
+            f"wall time (advisory): baseline {base_secs:.3f}s, "
+            f"current {cur_secs:.3f}s ({rel:+.1%}) {label}"
+        )
+
+    if failures:
+        print(f"\nFAIL: {failures} counter regression(s)", file=sys.stderr)
+        return 1
+    print(f"\nPASS ({warnings} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
