@@ -11,6 +11,7 @@
 // Gate: tools/check_bench_regression.py BENCH_perf_smoke.json baseline.json
 #include <cstdio>
 
+#include "dense/microkernel.hpp"
 #include "perf/perf.hpp"
 #include "perf/report.hpp"
 #include "sketch/sketch.hpp"
@@ -91,6 +92,54 @@ int main() {
                std::to_string(stats.counters.flops)});
   }
   std::printf("%s\n", t.render().c_str());
+
+  // SIMD micro-kernel ratio on the pinned jki case: scalar tier vs. auto
+  // dispatch (best SIMD tier this build + CPU offer). Uninstrumented runs so
+  // both sides take the production fast path; best-of-kReps wall time. The
+  // labels are machine-neutral ("scalar"/"auto", not the resolved tier) so
+  // the report shape is identical everywhere; the ratio itself is advisory
+  // (wall time stays warn-only in CI), and the rep count is fixed so the
+  // globally accumulated counters stay deterministic.
+  {
+    constexpr int kReps = 3;
+    const auto a = random_sparse<float>(m, n, 1e-3, seed_a);
+    double best[2] = {0.0, 0.0};  // best GFLOP/s: [0]=scalar, [1]=auto
+    double best_secs[2] = {0.0, 0.0};
+    const microkernel::Isa tiers[2] = {microkernel::Isa::Scalar,
+                                       microkernel::Isa::Auto};
+    for (int side = 0; side < 2; ++side) {
+      for (int rep = 0; rep < kReps; ++rep) {
+        SketchConfig cfg;
+        cfg.d = d;
+        cfg.seed = seed_s;
+        cfg.dist = Dist::PmOne;
+        cfg.backend = RngBackend::XoshiroBatch;
+        cfg.kernel = KernelVariant::Jki;
+        cfg.block_d = 512;
+        cfg.block_n = 256;
+        cfg.parallel = ParallelOver::Sequential;
+        cfg.isa = tiers[side];
+        DenseMatrix<float> a_hat(d, n);
+        const SketchStats stats = sketch_into(cfg, a, a_hat);
+        if (stats.gflops > best[side]) {
+          best[side] = stats.gflops;
+          best_secs[side] = stats.total_seconds;
+        }
+      }
+    }
+    report.timing("jki/xoshiro_batch/rho=1e-3/isa=scalar", best_secs[0]);
+    report.timing("jki/xoshiro_batch/rho=1e-3/isa=auto", best_secs[1]);
+    const double ratio = best[0] > 0.0 ? best[1] / best[0] : 0.0;
+    report.derived("jki_simd_speedup_vs_scalar", ratio);
+    std::printf("jki isa ratio (best of %d): scalar %.2f GF/s, auto %.2f GF/s"
+                " -> %.2fx\n",
+                kReps, best[0], best[1], ratio);
+    if (ratio < 1.3) {
+      std::printf("warning: SIMD speedup %.2fx below the 1.3x target "
+                  "(advisory, machine-dependent)\n", ratio);
+    }
+    std::printf("\n");
+  }
 
   const std::string path = report.write();
   if (path.empty()) {

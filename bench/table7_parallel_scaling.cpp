@@ -4,11 +4,13 @@
 // scales better.
 #include <omp.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "sketch/sketch.hpp"
+#include "sparse/generate.hpp"
 #include "support/parallel.hpp"
 #include "testdata/replicas.hpp"
 
@@ -115,6 +117,46 @@ int main() {
                 omp_get_num_procs());
   ours.set_footnote(note);
   std::printf("%s\n", ours.render().c_str());
+
+  // Skewed-nnz companion point: Abnormal_B concentrates 90% of the nonzeros
+  // in the middle-third vertical block, so per-jb work is wildly uneven —
+  // the case the jki DBlocks loop's schedule(dynamic)+nowait exists for
+  // (static chunks would park every thread behind the dense block's owner).
+  {
+    const index_t sm = std::max<index_t>(20000 / scale, 64);
+    const index_t sn = std::max<index_t>(3000 / scale, 16);
+    const auto skew = abnormal_b<float>(sm, sn, 2e-3, 0.9, 77);
+    const index_t sd = sn;
+    Table skewt("Skewed nnz (Abnormal_B, 90% in middle third), Alg4 DBlocks:");
+    skewt.set_header({"threads", "seconds", "GF"});
+    for (int threads : thread_counts) {
+      ThreadCountGuard guard(threads);
+      SketchConfig cfg;
+      cfg.d = sd;
+      cfg.dist = Dist::Uniform;
+      cfg.kernel = KernelVariant::Jki;
+      cfg.block_d = 3000;
+      cfg.block_n = 300;
+      cfg.parallel = ParallelOver::DBlocks;
+      DenseMatrix<float> a_hat(sd, skew.cols());
+      SketchStats best;
+      best.total_seconds = 1e300;
+      for (int r = 0; r < reps; ++r) {
+        const auto st = sketch_into(cfg, skew, a_hat);
+        if (st.total_seconds < best.total_seconds) best = st;
+      }
+      report.timing("skewed/threads=" + std::to_string(threads) + "/alg4",
+                    best.total_seconds, best);
+      skewt.add_row({fmt_int(threads), fmt_time(best.total_seconds),
+                     fmt_fixed(best.gflops, 2)});
+    }
+    skewt.set_footnote(
+        "Shape check (multi-core hosts): scaling on this skewed pattern "
+        "should track the uniform setup2 column, not collapse to the dense "
+        "block's serial time.");
+    std::printf("%s\n", skewt.render().c_str());
+  }
+
   hw.finish();
   report.write();
   return 0;

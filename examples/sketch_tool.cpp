@@ -14,6 +14,7 @@
 #include <fstream>
 #include <string>
 
+#include "dense/microkernel.hpp"
 #include "perf/perf_events.hpp"
 #include "perf/report.hpp"
 #include "sketch/autotune.hpp"
@@ -38,7 +39,8 @@ int usage(const char* prog) {
                "usage:\n"
                "  %s sketch --in A.mtx --out Ahat.mtx [--gamma G] "
                "[--dist pm1|uniform|gauss] [--kernel kji|jki] [--seed S]\n"
-               "            [--tune off|model|empirical|cached]\n"
+               "            [--tune off|model|empirical|cached] "
+               "[--isa auto|scalar|avx2|avx512]\n"
                "  %s solve  --in A.mtx [--rhs b.txt] [--svd] [--gamma G] "
                "[--guarded] [--attempts N]\n"
                "  %s info   --in A.mtx\n"
@@ -100,6 +102,9 @@ int cmd_sketch(const CliArgs& args, const CscMatrix<double>& a) {
                                          : KernelVariant::Kji;
   cfg.normalize = true;
   cfg.check_inputs = !args.has("no-check");
+  const std::string isa = args.get("isa", "auto");
+  require(microkernel::parse_isa(isa, &cfg.isa),
+          "unknown --isa '" + isa + "' (want auto|scalar|avx2|avx512)");
   TuneDecision decision;
   const std::string tune = args.get("tune", "");
   if (tune.empty()) {
@@ -117,11 +122,12 @@ int cmd_sketch(const CliArgs& args, const CscMatrix<double>& a) {
     if (decision.source == TuneSource::Cache) std::printf(" (cache hit)");
     std::printf("\n");
   }
-  std::printf("sketching: d=%lld, dist=%s, kernel=%s, blocks=(%lld, %lld)\n",
-              static_cast<long long>(cfg.d), to_string(cfg.dist).c_str(),
-              to_string(cfg.kernel).c_str(),
-              static_cast<long long>(cfg.block_d),
-              static_cast<long long>(cfg.block_n));
+  std::printf(
+      "sketching: d=%lld, dist=%s, kernel=%s, blocks=(%lld, %lld), isa=%s\n",
+      static_cast<long long>(cfg.d), to_string(cfg.dist).c_str(),
+      to_string(cfg.kernel).c_str(), static_cast<long long>(cfg.block_d),
+      static_cast<long long>(cfg.block_n),
+      microkernel::to_string(microkernel::resolve(cfg.isa)));
 
   perf::ReportBuilder report("sketch_tool");
   report.config("in", args.get("in", ""));
@@ -131,6 +137,7 @@ int cmd_sketch(const CliArgs& args, const CscMatrix<double>& a) {
   report.config("kernel", to_string(cfg.kernel));
   report.config("block_d", static_cast<long long>(cfg.block_d));
   report.config("block_n", static_cast<long long>(cfg.block_n));
+  report.config("isa", microkernel::to_string(microkernel::resolve(cfg.isa)));
   if (!tune.empty()) {
     report.config("tune", tune);
     report.config("tune_source", to_string(decision.source));

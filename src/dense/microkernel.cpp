@@ -1,0 +1,166 @@
+#include "dense/microkernel.hpp"
+
+#include <cstdlib>
+
+#include "support/env.hpp"
+
+namespace rsketch::microkernel {
+
+// Per-tier factories exported by the kernel_simd_*.cpp translation units.
+// Each TU compiles the shared template body (sketch/kernel_simd_impl.hpp)
+// under its own -m flags and hands back a table of function pointers; only
+// the tiers the build actually produced are declared here.
+namespace scalar_impl {
+template <typename T>
+Ops<T> make_ops();
+}
+#ifdef RSKETCH_MICROKERNEL_AVX2
+namespace avx2_impl {
+template <typename T>
+Ops<T> make_ops();
+}
+#endif
+#ifdef RSKETCH_MICROKERNEL_AVX512
+namespace avx512_impl {
+template <typename T>
+Ops<T> make_ops();
+}
+#endif
+
+bool compiled(Isa isa) {
+  switch (isa) {
+    case Isa::Auto:
+    case Isa::Scalar:
+      return true;
+    case Isa::Avx2:
+#ifdef RSKETCH_MICROKERNEL_AVX2
+      return true;
+#else
+      return false;
+#endif
+    case Isa::Avx512:
+#ifdef RSKETCH_MICROKERNEL_AVX512
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+namespace {
+
+/// Does the host CPU advertise the features a tier's code was built with?
+/// The library is built without -march=native in CI, so this is a genuine
+/// runtime decision, not a compile-time constant.
+bool cpu_has(Isa isa) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (isa) {
+    case Isa::Avx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Isa::Avx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512vl") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512bw");
+    default:
+      return true;
+  }
+#else
+  return isa == Isa::Auto || isa == Isa::Scalar;
+#endif
+}
+
+/// RSKETCH_ISA override, parsed once per process. Invalid or unsupported
+/// values warn once (support/env.hpp machinery) and resolve to Auto.
+Isa env_override() {
+  static const Isa cached = [] {
+    const char* v = std::getenv("RSKETCH_ISA");
+    if (v == nullptr || *v == '\0') return Isa::Auto;
+    Isa parsed = Isa::Auto;
+    if (!parse_isa(v, &parsed)) {
+      env_warn_once("RSKETCH_ISA", v,
+                    "expected auto|scalar|avx2|avx512; using auto dispatch");
+      return Isa::Auto;
+    }
+    if (!supported(parsed)) {
+      env_warn_once("RSKETCH_ISA", v,
+                    "ISA not supported by this build/CPU; using auto dispatch");
+      return Isa::Auto;
+    }
+    return parsed;
+  }();
+  return cached;
+}
+
+}  // namespace
+
+bool supported(Isa isa) {
+  if (isa == Isa::Auto || isa == Isa::Scalar) return true;
+  return compiled(isa) && cpu_has(isa);
+}
+
+Isa best_supported() {
+  if (supported(Isa::Avx512)) return Isa::Avx512;
+  if (supported(Isa::Avx2)) return Isa::Avx2;
+  return Isa::Scalar;
+}
+
+Isa resolve(Isa requested) {
+  if (requested != Isa::Auto) {
+    if (supported(requested)) return requested;
+    env_warn_once("SketchConfig::isa", to_string(requested),
+                  "ISA not supported by this build/CPU; dispatching the best "
+                  "supported tier");
+    return best_supported();
+  }
+  const Isa env = env_override();
+  return env == Isa::Auto ? best_supported() : env;
+}
+
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::Auto: return "auto";
+    case Isa::Scalar: return "scalar";
+    case Isa::Avx2: return "avx2";
+    case Isa::Avx512: return "avx512";
+  }
+  return "?";
+}
+
+bool parse_isa(const std::string& s, Isa* out) {
+  if (s == "auto") *out = Isa::Auto;
+  else if (s == "scalar") *out = Isa::Scalar;
+  else if (s == "avx2") *out = Isa::Avx2;
+  else if (s == "avx512") *out = Isa::Avx512;
+  else return false;
+  return true;
+}
+
+template <typename T>
+const Ops<T>& ops(Isa resolved) {
+  static const Ops<T> scalar_ops = scalar_impl::make_ops<T>();
+#ifdef RSKETCH_MICROKERNEL_AVX2
+  static const Ops<T> avx2_ops = avx2_impl::make_ops<T>();
+#endif
+#ifdef RSKETCH_MICROKERNEL_AVX512
+  static const Ops<T> avx512_ops = avx512_impl::make_ops<T>();
+#endif
+  switch (resolved) {
+#ifdef RSKETCH_MICROKERNEL_AVX2
+    case Isa::Avx2:
+      return avx2_ops;
+#endif
+#ifdef RSKETCH_MICROKERNEL_AVX512
+    case Isa::Avx512:
+      return avx512_ops;
+#endif
+    default:
+      return scalar_ops;
+  }
+}
+
+template const Ops<float>& ops<float>(Isa);
+template const Ops<double>& ops<double>(Isa);
+
+}  // namespace rsketch::microkernel

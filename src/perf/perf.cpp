@@ -116,6 +116,7 @@ const char* counter_name(Counter c) {
     case Counter::TunerCacheHits: return "tuner_cache_hits";
     case Counter::TunerCacheMisses: return "tuner_cache_misses";
     case Counter::TunerCandidatesTimed: return "tuner_candidates_timed";
+    case Counter::KernelDispatches: return "kernel_dispatch";
     case Counter::kCount: break;
   }
   return "?";

@@ -40,6 +40,9 @@ enum class Counter : int {
   TunerCacheHits,        ///< tuning-cache lookups answered without re-timing
   TunerCacheMisses,      ///< tuning-cache lookups that fell through
   TunerCandidatesTimed,  ///< pilot sub-sketches timed by the empirical tuner
+  KernelDispatches,      ///< sketch calls routed through the micro-kernel ISA
+                         ///< table; the chosen tier shows as a
+                         ///< kernel_dispatch/<isa> span
   kCount
 };
 

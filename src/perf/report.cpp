@@ -149,6 +149,7 @@ Json ReportBuilder::build() const {
   counters["tuner_cache_hits"] = snap.get(Counter::TunerCacheHits);
   counters["tuner_cache_misses"] = snap.get(Counter::TunerCacheMisses);
   counters["tuner_candidates_timed"] = snap.get(Counter::TunerCandidatesTimed);
+  counters["kernel_dispatch"] = snap.get(Counter::KernelDispatches);
   for (const auto& [k, v] : extra_counters_.members()) counters[k] = v;
   doc["counters"] = std::move(counters);
 

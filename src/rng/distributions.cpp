@@ -162,100 +162,20 @@ void SketchSampler<T>::fill_xoshiro(index_t r, index_t j, T* v, index_t n) {
   fill_dispatch(dist_, s, v, n);
 }
 
-namespace {
-
-// ---- Bulk transforms for the batched backend (the hot path). Each consumes
-// one 8-word batch and emits a fixed-size chunk with loops the compiler
-// vectorizes; per-sample branching and per-word function calls are the
-// difference between ~0.4 and several Gsamples/s.
-
-/// 16 uniforms per batch: the 8×u64 buffer viewed as 16 int32 words (memcpy
-/// keeps it strict-aliasing clean; the compiler elides the copy), converted
-/// elementwise — two vcvtdq2ps + two vmulps per chunk.
-template <typename T>
-inline void chunk_uniform(const std::uint64_t* buf, T* out) {
-  std::int32_t w[16];
-  std::memcpy(w, buf, sizeof w);
-#pragma omp simd
-  for (int k = 0; k < 16; ++k) {
-    out[k] = static_cast<T>(w[k]) * static_cast<T>(kInv31f);
-  }
-}
-
-/// 16 raw-int32 samples per batch (scaling trick; identical word order to
-/// chunk_uniform so trick·2⁻³¹ == uniform holds exactly).
-template <typename T>
-inline void chunk_uniform_scaled(const std::uint64_t* buf, T* out) {
-  std::int32_t w[16];
-  std::memcpy(w, buf, sizeof w);
-#pragma omp simd
-  for (int k = 0; k < 16; ++k) out[k] = static_cast<T>(w[k]);
-}
-
-/// 64 ±1 samples per batch: one byte of entropy each (the paper's 8-bit ±1
-/// path); the random low bit becomes the sign bit of the IEEE constant 1.0,
-/// branch-free and byte-parallel (vpmovzxbd + shifts).
-inline void chunk_pm1(const std::uint64_t* buf, float* out) {
-  unsigned char bytes[64];
-  std::memcpy(bytes, buf, sizeof bytes);
-#pragma omp simd
-  for (int k = 0; k < 64; ++k) {
-    const std::uint32_t bit = bytes[k] & 1u;
-    out[k] = std::bit_cast<float>(0x3F800000u | (bit << 31));
-  }
-}
-
-inline void chunk_pm1(const std::uint64_t* buf, double* out) {
-  unsigned char bytes[64];
-  std::memcpy(bytes, buf, sizeof bytes);
-#pragma omp simd
-  for (int k = 0; k < 64; ++k) {
-    const std::uint64_t bit = bytes[k] & 1u;
-    out[k] = std::bit_cast<double>(0x3FF0000000000000ULL | (bit << 63));
-  }
-}
-
-/// Chunked driver: full chunks straight into v, one spilled chunk for the
-/// tail, all inside one register-resident generator sweep. The emitted
-/// stream is a pure function of the checkpoint and the chunk layout, so
-/// prefixes agree across different fill lengths.
-template <typename T, int kChunk, typename Fn>
-inline void fill_chunked(XoshiroBatch& g, T* v, index_t n, Fn&& transform) {
-  const index_t batches = ceil_div(n, kChunk);
-  const index_t full = n / kChunk;
-  g.for_each_batch(batches, [&](const std::uint64_t* buf, index_t c) {
-    if (c < full) {
-      transform(buf, v + c * kChunk);
-    } else {
-      alignas(64) T tail[kChunk];
-      transform(buf, tail);
-      std::memcpy(v + c * kChunk, tail,
-                  static_cast<std::size_t>(n - c * kChunk) * sizeof(T));
-    }
-  });
-}
-
-}  // namespace
-
 template <typename T>
 void SketchSampler<T>::fill_batch(index_t r, index_t j, T* v, index_t n) {
   batch_.set_state(static_cast<std::uint64_t>(r),
                    static_cast<std::uint64_t>(j));
   switch (dist_) {
     case Dist::PmOne:
-      fill_chunked<T, 64>(batch_, v, n, [](const std::uint64_t* buf, T* out) {
-        chunk_pm1(buf, out);
-      });
-      return;
     case Dist::Uniform:
-      fill_chunked<T, 16>(batch_, v, n, [](const std::uint64_t* buf, T* out) {
-        chunk_uniform(buf, out);
-      });
-      return;
     case Dist::UniformScaled:
-      fill_chunked<T, 16>(batch_, v, n, [](const std::uint64_t* buf, T* out) {
-        chunk_uniform_scaled(buf, out);
-      });
+      // Bulk chunked transforms, one 8-word batch per fixed-size chunk,
+      // compiled per ISA tier (sketch/kernel_simd_impl.hpp) and dispatched
+      // through the resolved micro-kernel table — per-sample branching and
+      // per-word function calls are the difference between ~0.4 and several
+      // Gsamples/s, and the tier decides the vector width.
+      ops_->fill(batch_, dist_, v, n);
       return;
     case Dist::Gaussian:
     case Dist::Junk: {
@@ -266,6 +186,16 @@ void SketchSampler<T>::fill_batch(index_t r, index_t j, T* v, index_t n) {
       return;
     }
   }
+}
+
+template <typename T>
+void SketchSampler<T>::fused_axpy(index_t r, index_t j, T a, T* out,
+                                  index_t n) {
+  if (n <= 0) return;
+  count_ += static_cast<std::uint64_t>(n);
+  batch_.set_state(static_cast<std::uint64_t>(r),
+                   static_cast<std::uint64_t>(j));
+  ops_->fused_axpy(batch_, dist_, a, out, n);
 }
 
 template <typename T>

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "dense/microkernel.hpp"
 #include "rng/philox.hpp"
 #include "rng/xoshiro.hpp"
 #include "rng/xoshiro_batch.hpp"
@@ -51,20 +52,48 @@ template <typename T>
 class SketchSampler {
  public:
   SketchSampler(std::uint64_t seed, Dist dist,
-                RngBackend backend = RngBackend::XoshiroBatch)
+                RngBackend backend = RngBackend::XoshiroBatch,
+                microkernel::Isa isa = microkernel::Isa::Auto)
       : dist_(dist),
         backend_(backend),
         seed_(seed),
         scalar_(seed),
         batch_(seed),
-        philox_(seed) {}
+        philox_(seed),
+        isa_(microkernel::resolve(isa)),
+        ops_(&microkernel::ops<T>(isa_)) {}
 
   /// Overwrite v[0..n) with entries S[r : r+n, j].
   void fill(index_t r, index_t j, T* v, index_t n);
 
+  /// True when this sampler's stream runs through the chunked micro-kernel
+  /// transforms, i.e. fused_axpy() is available: the batched backend with a
+  /// chunk-capable distribution. Gaussian (Box–Muller) and Junk stay on the
+  /// generic paths.
+  bool fused_eligible() const {
+    return backend_ == RngBackend::XoshiroBatch &&
+           (dist_ == Dist::PmOne || dist_ == Dist::Uniform ||
+            dist_ == Dist::UniformScaled);
+  }
+
+  /// Fused generate-and-axpy: out[0..n) += a * S[r : r+n, j] without ever
+  /// materializing the column — Algorithm 3's "never store S" argument taken
+  /// all the way into registers. Requires fused_eligible(); bitwise
+  /// identical to fill() into scratch followed by mk().axpy(), consuming the
+  /// generator stream in the identical chunk order.
+  void fused_axpy(index_t r, index_t j, T a, T* out, index_t n);
+
   Dist dist() const { return dist_; }
   RngBackend backend() const { return backend_; }
   std::uint64_t seed() const { return seed_; }
+
+  /// Resolved micro-kernel ISA tier this sampler (and the kernels driving
+  /// it) dispatch through. Never Auto.
+  microkernel::Isa isa() const { return isa_; }
+
+  /// The resolved dispatch table — the kernels take their axpy/axpy_multi
+  /// from here so dense updates and RNG transforms ride the same tier.
+  const microkernel::Ops<T>& mk() const { return *ops_; }
 
   /// Total samples produced since construction / reset_counter().
   std::uint64_t samples_generated() const { return count_; }
@@ -82,6 +111,8 @@ class SketchSampler {
   Xoshiro256pp scalar_;
   XoshiroBatch batch_;
   PhiloxStream philox_;
+  microkernel::Isa isa_;
+  const microkernel::Ops<T>* ops_;
   std::uint64_t count_ = 0;
 };
 

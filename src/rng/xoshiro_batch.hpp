@@ -54,14 +54,24 @@ class XoshiroBatch {
     }
   }
 
+  /// Batch fill into caller-provided lanes: `nbatches` consecutive batch
+  /// steps written raw (lane-interleaved, untransformed) into
+  /// out[0 .. nbatches*kLanes). Exactly the words for_each_batch() hands its
+  /// callback — the SIMD micro-kernels consume the callback form directly;
+  /// this form serves callers that want the raw lane words (external
+  /// transforms, tests pinning the stream-consumption order).
+  void fill_lanes(std::uint64_t* out, index_t nbatches) {
+    for_each_batch(nbatches, [&](const std::uint64_t* w, index_t c) {
+      for (int l = 0; l < kLanes; ++l) out[c * kLanes + l] = w[l];
+    });
+  }
+
   /// Fill out[0..n) with 64-bit outputs (lane-interleaved); the tail of the
   /// final batch of 8 is discarded, keeping the stream a function of the
   /// checkpoint only (not of n's residue history).
   void fill_u64(std::uint64_t* out, index_t n) {
     const index_t full = n / kLanes;
-    for_each_batch(full, [&](const std::uint64_t* w, index_t c) {
-      for (int l = 0; l < kLanes; ++l) out[c * kLanes + l] = w[l];
-    });
+    fill_lanes(out, full);
     if (full * kLanes < n) {
       std::uint64_t tail[kLanes];
       next8(tail);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "dense/microkernel.hpp"
 #include "perf/counters.hpp"
 #include "rng/distributions.hpp"
 #include "support/common.hpp"
@@ -63,6 +64,11 @@ struct SketchConfig {
   /// block_n, backend) through sketch/tuner.hpp before dispatching. The hot
   /// path pays one branch when Off. See docs/AUTOTUNING.md.
   TuneMode tune = TuneMode::Off;
+  /// Micro-kernel ISA tier for the inner loops (dense/microkernel.hpp).
+  /// Auto resolves to the best tier the build and CPU support, overridable
+  /// via RSKETCH_ISA. Pinning a tier is for tests, tuning, and debugging —
+  /// every tier produces bitwise-identical Â, so this is a pure speed knob.
+  microkernel::Isa isa = microkernel::Isa::Auto;
 
   /// Throws invalid_argument_error when structurally invalid.
   void validate(index_t m, index_t n) const {
@@ -81,6 +87,8 @@ struct SketchStats {
   double convert_seconds = 0.0;  ///< CSC → blocked CSR time (Alg. 4 only)
   std::uint64_t samples_generated = 0;  ///< entries of S produced
   double gflops = 0.0;  ///< 2·d·nnz(A) / total_seconds / 1e9
+  /// Micro-kernel ISA tier the kernels actually dispatched (never Auto).
+  microkernel::Isa isa = microkernel::Isa::Scalar;
 
   /// Software work/traffic counters, populated when the run is instrumented
   /// or RSKETCH_PERF is on (all-zero otherwise). See perf/counters.hpp.

@@ -1,6 +1,8 @@
 #include "sketch/kernel_jki.hpp"
 
-#include "dense/blas1.hpp"
+#include <algorithm>
+
+#include "dense/microkernel.hpp"
 
 namespace rsketch {
 
@@ -14,6 +16,7 @@ void kernel_jki(DenseMatrix<T>& a_hat, index_t i0, index_t d1,
   const auto& col_idx = csr.col_idx();
   const auto& values = csr.values();
   const index_t m = csr.rows();
+  const microkernel::Ops<T>& mk = sampler.mk();
 
   for (index_t j = 0; j < m; ++j) {
     const index_t lo = row_ptr[static_cast<std::size_t>(j)];
@@ -27,28 +30,36 @@ void kernel_jki(DenseMatrix<T>& a_hat, index_t i0, index_t d1,
     } else {
       sampler.fill(i0, j, v, d1);
     }
-    for (index_t p = lo; p < hi; ++p) {
-      const index_t k = blk.col0 + col_idx[static_cast<std::size_t>(p)];
-      axpy(d1, values[static_cast<std::size_t>(p)], v, a_hat.col(k) + i0);
+    // Unroll-and-jam: apply v to up to kMaxJam destination columns of Â per
+    // sweep, so each vector load of v feeds several accumulators instead of
+    // one — the row's reuse of the regenerated column carried into registers.
+    index_t p = lo;
+    while (p < hi) {
+      const index_t jam = std::min<index_t>(microkernel::kMaxJam, hi - p);
+      T alphas[microkernel::kMaxJam];
+      T* ys[microkernel::kMaxJam];
+      for (index_t q = 0; q < jam; ++q) {
+        alphas[q] = values[static_cast<std::size_t>(p + q)];
+        ys[q] = a_hat.col(blk.col0 +
+                          col_idx[static_cast<std::size_t>(p + q)]) +
+                i0;
+      }
+      mk.axpy_multi(d1, v, alphas, ys, jam);
+      p += jam;
     }
   }
 
   if (counters != nullptr) {
-    // Exact per-block accounting from the CSR structure alone — the hot loop
-    // above carries no counter updates. One regenerated column of S serves
-    // every nonzero of its row (the sample-reuse advantage of Algorithm 4);
-    // each nonzero still moves d1 elements of Â twice plus its own value and
-    // column index, and the row-pointer walk touches m+1 indices.
-    std::uint64_t nonempty_rows = 0;
-    for (index_t j = 0; j < m; ++j) {
-      nonempty_rows += row_ptr[static_cast<std::size_t>(j) + 1] >
-                               row_ptr[static_cast<std::size_t>(j)]
-                           ? 1u
-                           : 0u;
-    }
-    const std::uint64_t nnz =
-        static_cast<std::uint64_t>(row_ptr[static_cast<std::size_t>(m)] -
-                                   row_ptr[0]);
+    // Exact per-block accounting from metadata the blocked-CSR conversion
+    // precomputed (Block::nonempty_rows / Block::nnz) — no structure walk
+    // here, and the hot loop above carries no counter updates. One
+    // regenerated column of S serves every nonzero of its row (the
+    // sample-reuse advantage of Algorithm 4); each nonzero still moves d1
+    // elements of Â twice plus its own value and column index, and the
+    // row-pointer walk touches m+1 indices.
+    const std::uint64_t nonempty_rows =
+        static_cast<std::uint64_t>(blk.nonempty_rows);
+    const std::uint64_t nnz = static_cast<std::uint64_t>(blk.nnz);
     const std::uint64_t du = static_cast<std::uint64_t>(d1);
     counters->rng_samples += nonempty_rows * du;
     counters->nnz_processed += nnz;

@@ -1,6 +1,6 @@
 #include "sketch/kernel_kji.hpp"
 
-#include "dense/blas1.hpp"
+#include "dense/microkernel.hpp"
 
 namespace rsketch {
 
@@ -12,6 +12,12 @@ void kernel_kji(DenseMatrix<T>& a_hat, index_t i0, index_t d1, index_t j0,
   const auto& col_ptr = a.col_ptr();
   const auto& row_idx = a.row_idx();
   const auto& values = a.values();
+  const microkernel::Ops<T>& mk = sampler.mk();
+  // Fused generate-and-axpy: batched xoshiro lanes stream straight into the
+  // update, never touching the v buffer. Instrumented runs keep the buffered
+  // two-phase path so sample_seconds still isolates RNG time (Table III);
+  // both paths are bitwise identical by construction.
+  const bool fused = sample_timer == nullptr && sampler.fused_eligible();
 
   for (index_t k = j0; k < j0 + n1; ++k) {
     T* __restrict out = a_hat.col(k) + i0;
@@ -21,14 +27,17 @@ void kernel_kji(DenseMatrix<T>& a_hat, index_t i0, index_t d1, index_t j0,
       const index_t j = row_idx[static_cast<std::size_t>(p)];
       const T ajk = values[static_cast<std::size_t>(p)];
       // v := S[i0 : i0+d1, j] — regenerated, never read from memory.
-      if (sample_timer != nullptr) {
+      if (fused) {
+        sampler.fused_axpy(i0, j, ajk, out, d1);
+      } else if (sample_timer != nullptr) {
         sample_timer->start();
         sampler.fill(i0, j, v, d1);
         sample_timer->stop();
+        mk.axpy(d1, ajk, v, out);
       } else {
         sampler.fill(i0, j, v, d1);
+        mk.axpy(d1, ajk, v, out);
       }
-      axpy(d1, ajk, v, out);
     }
   }
 

@@ -1,0 +1,6 @@
+// AVX2 micro-kernel tier: compiled with -mavx2 -mfma -ffp-contract=off
+// (256-bit vectors; FMA units are available to the integer/convert paths but
+// float contraction stays off for bitwise-stable dispatch). Only built when
+// the compiler supports the flags; only dispatched when cpuid agrees.
+#define RSKETCH_SIMD_NS avx2_impl
+#include "sketch/kernel_simd_impl.hpp"

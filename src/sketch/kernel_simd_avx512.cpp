@@ -1,0 +1,6 @@
+// AVX-512 micro-kernel tier: compiled with -mavx512f/vl/dq/bw,
+// -mprefer-vector-width=512 and -ffp-contract=off (512-bit vectors, masked
+// tails). Only built when the compiler supports the flags; only dispatched
+// when cpuid agrees.
+#define RSKETCH_SIMD_NS avx512_impl
+#include "sketch/kernel_simd_impl.hpp"

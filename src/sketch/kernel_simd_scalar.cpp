@@ -1,0 +1,6 @@
+// Portable-scalar micro-kernel tier. CMake compiles this TU at the baseline
+// architecture (overriding any -march=native) with -ffp-contract=off, so the
+// emitted arithmetic is plain mul + add at the narrowest width — the bitwise
+// reference every wider tier must reproduce.
+#define RSKETCH_SIMD_NS scalar_impl
+#include "sketch/kernel_simd_impl.hpp"

@@ -6,8 +6,10 @@
 #include "sketch/kernel_kji.hpp"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
+#include "dense/microkernel.hpp"
 #include "perf/perf.hpp"
 #include "support/aligned_buffer.hpp"
 #include "support/timer.hpp"
@@ -22,7 +24,7 @@ namespace {
 template <typename T>
 struct ThreadCtx {
   explicit ThreadCtx(const SketchConfig& cfg)
-      : sampler(cfg.seed, cfg.dist, cfg.backend), v(cfg.block_d) {}
+      : sampler(cfg.seed, cfg.dist, cfg.backend, cfg.isa), v(cfg.block_d) {}
   SketchSampler<T> sampler;
   AlignedBuffer<T> v;
   AccumTimer sample_timer;
@@ -40,11 +42,18 @@ SketchStats collect(std::vector<ThreadCtx<T>>& ctxs, double total_seconds,
                                     c.sample_timer.seconds());
     stats.counters.merge(c.counters);
   }
+  if (!ctxs.empty()) stats.isa = ctxs.front().sampler.isa();
   const double flops = 2.0 * static_cast<double>(d) * static_cast<double>(nnz);
   stats.gflops = total_seconds > 0 ? flops / total_seconds / 1e9 : 0.0;
   if (perf::enabled()) {
     perf::add(stats.counters);
     perf::add(perf::Counter::SketchCalls, 1);
+    // The resolved tier, visible both as a count and as a per-tier span
+    // ("kernel_dispatch/avx2"), so a report alone shows what ran.
+    perf::add(perf::Counter::KernelDispatches, 1);
+    perf::add_span(std::string("kernel_dispatch/") +
+                       microkernel::to_string(stats.isa),
+                   0.0);
     if (stats.sample_seconds > 0.0) {
       perf::add_span("sample_fill", stats.sample_seconds);
     }
@@ -155,7 +164,12 @@ SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
     {
       auto& ctx = ctxs[static_cast<std::size_t>(omp_get_thread_num())];
       for (index_t jb = 0; jb < n_jblocks; ++jb) {
-#pragma omp for schedule(static) nowait
+        // dynamic, not static: within one vertical block every i-block costs
+        // the same, but across blocks nnz can be wildly skewed, and with
+        // nowait threads flow across the jb boundary — dynamic chunks keep a
+        // thread that finished a sparse block from idling behind one stuck
+        // in a dense block (bench/table7_parallel_scaling's skewed case).
+#pragma omp for schedule(dynamic) nowait
         for (index_t ib = 0; ib < n_iblocks; ++ib) {
           const index_t i0 = ib * bd;
           const index_t d1 = std::min(bd, d - i0);

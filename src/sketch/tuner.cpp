@@ -77,6 +77,7 @@ void apply(SketchConfig& cfg, const TuneCandidate& cand) {
   cfg.backend = cand.backend;
   cfg.block_d = cand.block_d;
   cfg.block_n = cand.block_n;
+  cfg.isa = cand.isa;
 }
 
 /// Leading-column slice A[:, 0:pilot_n) with d clamped — the pilot problem
@@ -137,7 +138,7 @@ void resolve_model(const SketchConfig& cfg, const CscMatrix<T>& a,
   const BlockSuggestion s = model_suggestion(cfg, a);
   eff.block_d = s.block_d;
   eff.block_n = s.block_n;
-  dec.choice = {cfg.kernel, cfg.backend, s.block_d, s.block_n};
+  dec.choice = {cfg.kernel, cfg.backend, s.block_d, s.block_n, cfg.isa};
   dec.source = TuneSource::Model;
 }
 
@@ -171,7 +172,7 @@ void resolve_empirical(const SketchConfig& cfg, const CscMatrix<T>& a,
 std::string TuneCandidate::label() const {
   std::ostringstream os;
   os << kernel_token(kernel) << "/" << backend_token(backend) << "/"
-     << block_d << "x" << block_n;
+     << block_d << "x" << block_n << "/" << microkernel::to_string(isa);
   return os.str();
 }
 
@@ -231,17 +232,30 @@ std::vector<TuneCandidate> tuner_candidates(const SketchConfig& cfg,
     if (std::find(bns.begin(), bns.end(), bn) == bns.end()) bns.push_back(bn);
   }
   std::vector<TuneCandidate> out;
+  const index_t model_bd = std::clamp<index_t>(s.block_d, 1, d);
+  const index_t model_bn = std::clamp<index_t>(s.block_n, 1, n);
   for (KernelVariant k : {KernelVariant::Kji, KernelVariant::Jki}) {
     for (index_t bd : bds) {
       for (index_t bn : bns) {
-        out.push_back({k, cfg.backend, bd, bn});
+        out.push_back({k, cfg.backend, bd, bn, cfg.isa});
       }
     }
     // The other backend family only at the model blocks: it changes the
     // per-sample cost h, not the blocking trade-off, so one point suffices.
-    out.push_back({k, alternate_backend(cfg.backend),
-                   std::clamp<index_t>(s.block_d, 1, d),
-                   std::clamp<index_t>(s.block_n, 1, n)});
+    out.push_back({k, alternate_backend(cfg.backend), model_bd, model_bn,
+                   cfg.isa});
+    // The supported micro-kernel tiers below the auto pick, also only at
+    // the model blocks. Auto already dispatches the widest tier, so only
+    // the alternates need timing — narrower vectors do occasionally win
+    // (e.g. where 512-bit turbo licensing bites), and then the pilot should
+    // find it rather than anyone guessing.
+    const microkernel::Isa resolved = microkernel::resolve(cfg.isa);
+    for (microkernel::Isa isa :
+         {microkernel::Isa::Scalar, microkernel::Isa::Avx2,
+          microkernel::Isa::Avx512}) {
+      if (isa == resolved || !microkernel::supported(isa)) continue;
+      out.push_back({k, cfg.backend, model_bd, model_bn, isa});
+    }
   }
   return out;
 }
@@ -297,6 +311,14 @@ TuningCache TuningCache::load(const std::string& path) {
     }
     entry.cand.block_d = static_cast<index_t>(bd->as_int());
     entry.cand.block_n = static_cast<index_t>(bn->as_int());
+    // Optional since the micro-kernel layer landed: absent (pre-ISA entry)
+    // decodes to Auto — still schema_version 1, old caches stay valid.
+    if (const perf::Json* isa = e.find("isa"); isa != nullptr) {
+      if (!isa->is_string() ||
+          !microkernel::parse_isa(isa->as_string(), &entry.cand.isa)) {
+        continue;  // unknown tier token: stale entry, re-tune on demand
+      }
+    }
     if (const perf::Json* ps = e.find("pilot_seconds");
         ps != nullptr && ps->is_number()) {
       entry.pilot_seconds = ps->as_double();
@@ -337,6 +359,7 @@ bool TuningCache::save(const std::string& path) const {
     j["backend"] = backend_token(e.cand.backend);
     j["block_d"] = static_cast<long long>(e.cand.block_d);
     j["block_n"] = static_cast<long long>(e.cand.block_n);
+    j["isa"] = microkernel::to_string(e.cand.isa);
     j["pilot_seconds"] = e.pilot_seconds;
     entries[key] = std::move(j);
   }
@@ -356,7 +379,7 @@ SketchConfig resolve_tuning(const SketchConfig& cfg, const CscMatrix<T>& a,
   TuneDecision local;
   TuneDecision& dec = decision != nullptr ? *decision : local;
   dec = TuneDecision{};
-  dec.choice = {cfg.kernel, cfg.backend, cfg.block_d, cfg.block_n};
+  dec.choice = {cfg.kernel, cfg.backend, cfg.block_d, cfg.block_n, cfg.isa};
   SketchConfig eff = cfg;
   eff.tune = TuneMode::Off;
   // Degenerate problems (nothing to sketch, or nothing to tune over) are

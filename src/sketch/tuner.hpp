@@ -27,8 +27,12 @@ struct TuneCandidate {
   RngBackend backend = RngBackend::XoshiroBatch;
   index_t block_d = 1;
   index_t block_n = 1;
+  /// Micro-kernel ISA tier (dense/microkernel.hpp). Auto — the default and
+  /// what old cache entries decode to — means "resolve at dispatch", so the
+  /// tuner only pins a tier when a non-default one actually won a pilot.
+  microkernel::Isa isa = microkernel::Isa::Auto;
 
-  /// Compact stable label: "kji/xoshiro_batch/3000x500" (cache + logs).
+  /// Compact stable label: "kji/xoshiro_batch/3000x500/auto" (cache + logs).
   std::string label() const;
 };
 

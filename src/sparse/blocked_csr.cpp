@@ -39,6 +39,15 @@ typename BlockedCsr<T>::Block BlockedCsr<T>::build_block(const CscMatrix<T>& a,
   }
   Block blk;
   blk.col0 = col0;
+  blk.nnz = bnnz;
+  // The row-count pass already touched every row; fold the nonempty count
+  // into the same conversion instead of re-walking row_ptr per kernel call.
+  for (index_t i = 0; i < m; ++i) {
+    blk.nonempty_rows += ptr[static_cast<std::size_t>(i) + 1] >
+                                 ptr[static_cast<std::size_t>(i)]
+                             ? 1
+                             : 0;
+  }
   // Correct by construction from a valid CSC — skip the checked constructor's
   // O(nnz) scan, which would otherwise sit inside the timed conversion that
   // sketch_into reports as convert_seconds. Callers who distrust the source

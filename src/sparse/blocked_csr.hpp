@@ -20,6 +20,12 @@ class BlockedCsr {
   struct Block {
     index_t col0 = 0;       ///< first global column covered by this block
     CsrMatrix<T> csr;       ///< m × width slab in CSR (local column indices)
+    /// Structure metadata precomputed at conversion so the jki kernel's
+    /// counter accounting never re-walks row_ptr (it used to cost a second
+    /// full O(m) pass per block per i-block).
+    index_t nnz = 0;            ///< stored entries in this slab
+    index_t nonempty_rows = 0;  ///< rows with >= 1 entry (columns of S the
+                                ///< kernel regenerates per i-block)
   };
 
   BlockedCsr() = default;

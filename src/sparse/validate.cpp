@@ -201,6 +201,28 @@ ValidationReport validate_blocked_csr(const BlockedCsr<T>& a,
              fmt2("block rows", blk.csr.rows(), "vs matrix rows", a.rows()));
     }
     covered = blk.col0 + blk.csr.cols();
+    // The conversion-time metadata feeds the jki kernel's counter
+    // accounting; stale values would silently skew the telemetry.
+    if (blk.nnz != blk.csr.nnz()) {
+      record(report, opt, ValidationIssue::BlockInconsistent, b,
+             fmt2("block nnz metadata", blk.nnz, "vs csr nnz",
+                  blk.csr.nnz()));
+    }
+    const auto& rp = blk.csr.row_ptr();
+    if (rp.size() == static_cast<std::size_t>(blk.csr.rows()) + 1) {
+      index_t nonempty = 0;
+      for (index_t i = 0; i < blk.csr.rows(); ++i) {
+        nonempty += rp[static_cast<std::size_t>(i) + 1] >
+                            rp[static_cast<std::size_t>(i)]
+                        ? 1
+                        : 0;
+      }
+      if (blk.nonempty_rows != nonempty) {
+        record(report, opt, ValidationIssue::BlockInconsistent, b,
+               fmt2("block nonempty_rows metadata", blk.nonempty_rows,
+                    "vs recount", nonempty));
+      }
+    }
     ValidationReport inner;
     inner.rows = blk.csr.rows();
     inner.cols = blk.csr.cols();

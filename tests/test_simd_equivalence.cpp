@@ -1,0 +1,192 @@
+// Cross-ISA bitwise reproducibility of the micro-kernel layer
+// (dense/microkernel.hpp): every compiled tier (scalar / AVX2 / AVX-512)
+// must produce a bit-for-bit identical sketch Â. The tiers share one
+// templated implementation compiled with -ffp-contract=off, so each entry
+// is the same sequence of individually rounded mul+add operations at any
+// vector width — equality here is exact, not tolerance-based.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dense/microkernel.hpp"
+#include "rng/distributions.hpp"
+#include "sketch/sketch.hpp"
+#include "sparse/generate.hpp"
+
+namespace rsketch {
+namespace {
+
+/// Scalar plus every SIMD tier this build + CPU can actually run.
+std::vector<microkernel::Isa> supported_isas() {
+  std::vector<microkernel::Isa> out = {microkernel::Isa::Scalar};
+  if (microkernel::supported(microkernel::Isa::Avx2)) {
+    out.push_back(microkernel::Isa::Avx2);
+  }
+  if (microkernel::supported(microkernel::Isa::Avx512)) {
+    out.push_back(microkernel::Isa::Avx512);
+  }
+  return out;
+}
+
+/// Bitwise equality over the logical entries (padded tail rows excluded —
+/// they are zero-initialized but not part of the contract).
+template <typename T>
+void expect_bitwise_equal(const DenseMatrix<T>& a, const DenseMatrix<T>& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    ASSERT_EQ(0, std::memcmp(a.col(j), b.col(j),
+                             static_cast<std::size_t>(a.rows()) * sizeof(T)))
+        << what << ": column " << j << " differs";
+  }
+}
+
+template <typename T>
+SketchConfig isa_config(KernelVariant kernel, Dist dist) {
+  SketchConfig cfg;
+  cfg.d = 96;
+  cfg.seed = 777;
+  cfg.dist = dist;
+  cfg.backend = RngBackend::XoshiroBatch;
+  cfg.kernel = kernel;
+  // Small odd-ish blocks so row/column block boundaries, jam tails (hi-lo
+  // not a multiple of 4), and chunk tails (d1 % 16 != 0) all occur.
+  cfg.block_d = 40;
+  cfg.block_n = 17;
+  cfg.parallel = ParallelOver::Sequential;
+  return cfg;
+}
+
+template <typename T>
+void check_all_isas(KernelVariant kernel, Dist dist) {
+  const auto a = random_sparse<T>(150, 60, 0.08, 31);
+  const std::vector<microkernel::Isa> isas = supported_isas();
+
+  SketchConfig cfg = isa_config<T>(kernel, dist);
+  cfg.isa = isas.front();  // Scalar reference
+  DenseMatrix<T> ref(cfg.d, a.cols());
+  const SketchStats ref_stats = sketch_into(cfg, a, ref);
+  EXPECT_EQ(ref_stats.isa, microkernel::Isa::Scalar);
+
+  for (std::size_t t = 1; t < isas.size(); ++t) {
+    SketchConfig tier_cfg = isa_config<T>(kernel, dist);
+    tier_cfg.isa = isas[t];
+    DenseMatrix<T> got(tier_cfg.d, a.cols());
+    const SketchStats stats = sketch_into(tier_cfg, a, got);
+    EXPECT_EQ(stats.isa, isas[t]);
+    EXPECT_EQ(stats.samples_generated, ref_stats.samples_generated)
+        << "ISA tier must not change the RNG stream consumption";
+    expect_bitwise_equal(ref, got,
+                         std::string("isa=") +
+                             microkernel::to_string(isas[t]) + " dist=" +
+                             to_string(dist) + " kernel=" + to_string(kernel));
+  }
+}
+
+TEST(SimdEquivalence, KjiAllDistsDouble) {
+  for (Dist dist :
+       {Dist::PmOne, Dist::Uniform, Dist::UniformScaled, Dist::Gaussian}) {
+    check_all_isas<double>(KernelVariant::Kji, dist);
+  }
+}
+
+TEST(SimdEquivalence, JkiAllDistsDouble) {
+  for (Dist dist :
+       {Dist::PmOne, Dist::Uniform, Dist::UniformScaled, Dist::Gaussian}) {
+    check_all_isas<double>(KernelVariant::Jki, dist);
+  }
+}
+
+TEST(SimdEquivalence, KjiAllDistsFloat) {
+  for (Dist dist : {Dist::PmOne, Dist::Uniform, Dist::UniformScaled}) {
+    check_all_isas<float>(KernelVariant::Kji, dist);
+  }
+}
+
+TEST(SimdEquivalence, JkiAllDistsFloat) {
+  for (Dist dist : {Dist::PmOne, Dist::Uniform, Dist::UniformScaled}) {
+    check_all_isas<float>(KernelVariant::Jki, dist);
+  }
+}
+
+// The kji fused generate-and-axpy path (taken when the run is not
+// instrumented) must be bitwise identical to the buffered fill-then-axpy
+// path (taken when sample timing is requested) and must consume the RNG
+// stream in exactly the same order — samples_generated included.
+TEST(SimdEquivalence, FusedMatchesBufferedKji) {
+  const auto a = random_sparse<double>(120, 45, 0.1, 97);
+  for (Dist dist : {Dist::PmOne, Dist::Uniform, Dist::UniformScaled}) {
+    for (microkernel::Isa isa : supported_isas()) {
+      SketchConfig cfg = isa_config<double>(KernelVariant::Kji, dist);
+      cfg.isa = isa;
+
+      DenseMatrix<double> fused(cfg.d, a.cols());
+      const SketchStats fused_stats =
+          sketch_into(cfg, a, fused, /*instrument=*/false);
+
+      DenseMatrix<double> buffered(cfg.d, a.cols());
+      const SketchStats buffered_stats =
+          sketch_into(cfg, a, buffered, /*instrument=*/true);
+
+      EXPECT_EQ(fused_stats.samples_generated,
+                buffered_stats.samples_generated);
+      expect_bitwise_equal(fused, buffered,
+                           std::string("fused-vs-buffered isa=") +
+                               microkernel::to_string(isa) + " dist=" +
+                               to_string(dist));
+    }
+  }
+}
+
+// Direct sampler check: fill() output per (r, j) checkpoint is the same bit
+// pattern on every tier, including non-chunked distributions that fall back
+// to the shared generic path.
+TEST(SimdEquivalence, SamplerFillMatchesAcrossIsas) {
+  constexpr index_t kN = 53;  // not a multiple of any chunk size
+  for (Dist dist :
+       {Dist::PmOne, Dist::Uniform, Dist::UniformScaled, Dist::Gaussian}) {
+    SketchSampler<double> ref(99, dist, RngBackend::XoshiroBatch,
+                              microkernel::Isa::Scalar);
+    std::vector<double> vref(kN);
+    ref.fill(3, 7, vref.data(), kN);
+    for (microkernel::Isa isa : supported_isas()) {
+      SketchSampler<double> s(99, dist, RngBackend::XoshiroBatch, isa);
+      std::vector<double> v(kN);
+      s.fill(3, 7, v.data(), kN);
+      EXPECT_EQ(0, std::memcmp(vref.data(), v.data(), kN * sizeof(double)))
+          << "dist=" << to_string(dist)
+          << " isa=" << microkernel::to_string(isa);
+    }
+  }
+}
+
+// Dispatch plumbing: resolve() honors explicit tiers, best_supported() is
+// itself supported, and every supported tier has a populated ops table.
+TEST(SimdEquivalence, DispatchInvariants) {
+  EXPECT_TRUE(microkernel::supported(microkernel::Isa::Scalar));
+  const microkernel::Isa best = microkernel::best_supported();
+  EXPECT_TRUE(microkernel::supported(best));
+  EXPECT_NE(best, microkernel::Isa::Auto);
+  for (microkernel::Isa isa : supported_isas()) {
+    EXPECT_EQ(microkernel::resolve(isa), isa);
+    const auto& ops = microkernel::ops<double>(isa);
+    EXPECT_NE(ops.axpy, nullptr);
+    EXPECT_NE(ops.axpy_multi, nullptr);
+    EXPECT_NE(ops.fill, nullptr);
+    EXPECT_NE(ops.fused_axpy, nullptr);
+    const auto& fops = microkernel::ops<float>(isa);
+    EXPECT_NE(fops.axpy, nullptr);
+    EXPECT_NE(fops.fused_axpy, nullptr);
+  }
+  microkernel::Isa parsed = microkernel::Isa::Auto;
+  EXPECT_TRUE(microkernel::parse_isa("avx2", &parsed));
+  EXPECT_EQ(parsed, microkernel::Isa::Avx2);
+  EXPECT_TRUE(microkernel::parse_isa("auto", &parsed));
+  EXPECT_EQ(parsed, microkernel::Isa::Auto);
+  EXPECT_FALSE(microkernel::parse_isa("sse9", &parsed));
+}
+
+}  // namespace
+}  // namespace rsketch

@@ -102,6 +102,7 @@ TEST(TuningCache, RoundTripPreservesDispatch) {
   cand.backend = RngBackend::Philox;
   cand.block_d = 333;
   cand.block_n = 77;
+  cand.isa = microkernel::Isa::Scalar;
 
   TuningCache cache = TuningCache::load(file.path());  // absent file: ok+empty
   EXPECT_TRUE(cache.ok());
@@ -118,7 +119,27 @@ TEST(TuningCache, RoundTripPreservesDispatch) {
   EXPECT_EQ(out.backend, cand.backend);
   EXPECT_EQ(out.block_d, cand.block_d);
   EXPECT_EQ(out.block_n, cand.block_n);
+  EXPECT_EQ(out.isa, cand.isa);
   EXPECT_FALSE(reloaded.lookup("machine#other", &out));
+}
+
+TEST(TuningCache, MissingIsaFieldDecodesToAutoInvalidDropsEntry) {
+  // Pre-micro-kernel cache entry (no "isa"): must decode as Auto. An entry
+  // with an unknown isa token is stale and must be dropped individually.
+  TempFile file("cache_isa_compat");
+  std::ofstream(file.path())
+      << "{\"schema_version\": 1, \"entries\": {"
+         "\"k1\": {\"kernel\": \"jki\", \"backend\": \"xoshiro_batch\","
+         " \"block_d\": 10, \"block_n\": 10, \"pilot_seconds\": 1e-3},"
+         "\"k2\": {\"kernel\": \"kji\", \"backend\": \"philox\","
+         " \"block_d\": 20, \"block_n\": 20, \"isa\": \"mmx\","
+         " \"pilot_seconds\": 1e-3}}}";
+  const TuningCache cache = TuningCache::load(file.path());
+  EXPECT_TRUE(cache.ok());
+  TuneCandidate out;
+  ASSERT_TRUE(cache.lookup("k1", &out));
+  EXPECT_EQ(out.isa, microkernel::Isa::Auto);
+  EXPECT_FALSE(cache.lookup("k2", &out));
 }
 
 TEST(TuningCache, CorruptFileLoadsEmptyNotOk) {
