@@ -1,4 +1,5 @@
-// Schema validator for BENCH_*.json telemetry reports (schema_version 1).
+// Schema validator for BENCH_*.json telemetry reports (schema_version 1 or
+// 2 — v2 adds span latency histograms and thread-imbalance fields).
 // Used by the `smoke` ctest label to gate the emitter, and handy standalone:
 //
 //   validate_bench_json BENCH_fig4_distributions.json [more.json ...]
@@ -39,7 +40,9 @@ int main(int argc, char** argv) {
         ++failures;
         continue;
       }
-      std::printf("%s: valid (schema_version 1, %zu timing rows)\n", path,
+      const auto* version = doc.find("schema_version");
+      std::printf("%s: valid (schema_version %lld, %zu timing rows)\n", path,
+                  version != nullptr ? version->as_int() : 0,
                   doc.find("timings")->size());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s: %s\n", path, e.what());

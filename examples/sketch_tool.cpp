@@ -17,6 +17,7 @@
 #include "dense/microkernel.hpp"
 #include "perf/perf_events.hpp"
 #include "perf/report.hpp"
+#include "perf/trace.hpp"
 #include "sketch/autotune.hpp"
 #include "sketch/sketch.hpp"
 #include "sketch/tuner.hpp"
@@ -47,7 +48,9 @@ int usage(const char* prog) {
                "common flags: --no-check disables the input validators "
                "(structure + NaN/Inf scan), on by default;\n"
                "  --tune selects block/kernel/backend autotuning "
-               "(docs/AUTOTUNING.md; default: model blocks only)\n",
+               "(docs/AUTOTUNING.md; default: model blocks only)\n"
+               "  --trace PATH records a Chrome-trace timeline to PATH "
+               "(same as RSKETCH_TRACE=PATH; docs/OBSERVABILITY.md)\n",
                prog, prog, prog);
   return 2;
 }
@@ -263,6 +266,14 @@ int main(int argc, char** argv) {
   const std::string cmd = args.positional()[0];
   const std::string in_path = args.get("in", "");
   if (in_path.empty()) return usage(argv[0]);
+
+  // --trace PATH mirrors RSKETCH_TRACE=PATH; the at-exit exporter writes the
+  // timeline after main returns, so every command is covered.
+  if (const std::string trace_path = args.get("trace", "");
+      !trace_path.empty()) {
+    perf::trace::set_output(trace_path);
+    perf::trace::arm();
+  }
 
   try {
     CscMatrix<double> a = read_matrix_market_file<double>(in_path);

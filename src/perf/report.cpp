@@ -3,6 +3,7 @@
 #include <omp.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <ctime>
 #include <filesystem>
@@ -92,6 +93,10 @@ void ReportBuilder::timing(const std::string& label, double seconds,
   row["rng_samples"] = stats.samples_generated;
   row["nnz_processed"] = stats.counters.nnz_processed;
   row["intensity_flops_per_elem"] = stats.counters.intensity_per_element();
+  if (stats.thread_imbalance > 0.0) {
+    row["threads_used"] = static_cast<long long>(stats.threads_used);
+    row["thread_imbalance"] = stats.thread_imbalance;
+  }
   timings_.push_back(std::move(row));
 }
 
@@ -115,7 +120,7 @@ void ReportBuilder::hardware(const HwCounters& hw) {
 
 Json ReportBuilder::build() const {
   Json doc = Json::object();
-  doc["schema_version"] = 1;
+  doc["schema_version"] = 2;
   doc["name"] = name_;
   doc["timestamp"] = iso8601_utc_now();
   const Json machine = machine_info_json();
@@ -153,12 +158,36 @@ Json ReportBuilder::build() const {
   for (const auto& [k, v] : extra_counters_.members()) counters[k] = v;
   doc["counters"] = std::move(counters);
 
+  // schema_version 2 span shape: totals plus the log-bucket latency summary,
+  // and — for names that ran as parallel regions — the thread-busy split.
   Json spans = Json::object();
   for (const auto& [name, st] : snap.spans) {
     Json s = Json::object();
     s["count"] = st.count;
     s["seconds"] = st.seconds;
+    s["min_seconds"] = st.min_seconds;
+    s["max_seconds"] = st.max_seconds;
+    s["mean_seconds"] = st.mean_seconds();
+    s["p50_seconds"] = st.percentile(0.50);
+    s["p95_seconds"] = st.percentile(0.95);
+    s["p99_seconds"] = st.percentile(0.99);
     spans[name] = std::move(s);
+  }
+  double worst_imbalance = 0.0;
+  for (const auto& [name, bs] : snap.busy) {
+    Json& s = spans[name];  // creates a busy-only entry if the span is absent
+    if (s.is_null()) {
+      s = Json::object();
+      s["count"] = bs.calls;
+      s["seconds"] = bs.busy_seconds;
+    }
+    s["parallel_calls"] = bs.calls;
+    s["thread_slots"] = bs.thread_slots;
+    s["busy_seconds"] = bs.busy_seconds;
+    s["max_thread_busy_seconds"] = bs.max_thread_busy;
+    s["mean_thread_busy_seconds"] = bs.mean_thread_busy();
+    s["thread_imbalance"] = bs.max_imbalance;
+    worst_imbalance = std::max(worst_imbalance, bs.max_imbalance);
   }
   doc["spans"] = std::move(spans);
 
@@ -190,6 +219,7 @@ Json ReportBuilder::build() const {
       derived["modeled_ci_small_rho"] = ci_small_rho(m_elems, h->as_double());
     }
   }
+  if (worst_imbalance > 0.0) derived["thread_imbalance"] = worst_imbalance;
   for (const auto& [k, v] : extra_derived_.members()) derived[k] = v;
   doc["derived"] = std::move(derived);
 
@@ -234,8 +264,12 @@ std::vector<std::string> validate_bench_report(const Json& doc) {
     return errs;
   }
   const Json* version = doc.find("schema_version");
-  if (version == nullptr || !version->is_int() || version->as_int() != 1) {
-    errs.push_back("schema_version missing or != 1");
+  long long schema = 0;
+  if (version == nullptr || !version->is_int() ||
+      (version->as_int() != 1 && version->as_int() != 2)) {
+    errs.push_back("schema_version missing or not in {1, 2}");
+  } else {
+    schema = version->as_int();
   }
   const Json* name = doc.find("name");
   if (name == nullptr || !name->is_string() || name->as_string().empty()) {
@@ -269,6 +303,48 @@ std::vector<std::string> validate_bench_report(const Json& doc) {
     check_counter(*counters, "elems_moved", errs);
   }
 
+  // Span entries: v1 carries {count, seconds}; v2 adds the latency-histogram
+  // summary, which must be internally consistent (a malformed histogram or a
+  // percentile inversion means the aggregation itself is broken).
+  if (const Json* spans = doc.find("spans");
+      spans != nullptr && spans->is_object()) {
+    for (const auto& [sname, s] : spans->members()) {
+      if (!s.is_object()) {
+        errs.push_back("spans." + sname + " is not an object");
+        continue;
+      }
+      for (const char* key : {"count", "seconds"}) {
+        const Json* v = s.find(key);
+        if (v == nullptr || !v->is_number() || v->as_double() < 0.0) {
+          errs.push_back("spans." + sname + "." + key +
+                         " missing or not a nonnegative number");
+        }
+      }
+      if (schema < 2) continue;
+      const Json* mn = s.find("min_seconds");
+      const Json* mx = s.find("max_seconds");
+      if (mn != nullptr && mx != nullptr && mn->is_number() &&
+          mx->is_number() && mn->as_double() > mx->as_double()) {
+        errs.push_back("spans." + sname + ": min_seconds > max_seconds");
+      }
+      const Json* p50 = s.find("p50_seconds");
+      const Json* p95 = s.find("p95_seconds");
+      const Json* p99 = s.find("p99_seconds");
+      if (p50 != nullptr && p95 != nullptr && p50->is_number() &&
+          p95->is_number() && p50->as_double() > p95->as_double()) {
+        errs.push_back("spans." + sname + ": p50_seconds > p95_seconds");
+      }
+      if (p95 != nullptr && p99 != nullptr && p95->is_number() &&
+          p99->is_number() && p95->as_double() > p99->as_double()) {
+        errs.push_back("spans." + sname + ": p95_seconds > p99_seconds");
+      }
+      if (const Json* imb = s.find("thread_imbalance");
+          imb != nullptr && imb->is_number() && imb->as_double() < 1.0) {
+        errs.push_back("spans." + sname + ".thread_imbalance < 1");
+      }
+    }
+  }
+
   const Json* derived = doc.find("derived");
   if (derived == nullptr || !derived->is_object()) {
     errs.push_back("derived section missing");
@@ -276,6 +352,10 @@ std::vector<std::string> validate_bench_report(const Json& doc) {
     const Json* ci = derived->find("measured_intensity_flops_per_elem");
     if (ci == nullptr || !ci->is_number()) {
       errs.push_back("derived.measured_intensity_flops_per_elem missing");
+    }
+    if (const Json* imb = derived->find("thread_imbalance");
+        imb != nullptr && imb->is_number() && imb->as_double() < 1.0) {
+      errs.push_back("derived.thread_imbalance < 1");
     }
   }
 

@@ -89,6 +89,14 @@ struct SketchStats {
   double gflops = 0.0;  ///< 2·d·nnz(A) / total_seconds / 1e9
   /// Micro-kernel ISA tier the kernels actually dispatched (never Auto).
   microkernel::Isa isa = microkernel::Isa::Scalar;
+  /// Thread team size of the parallel sketch region (0 = ran sequentially
+  /// or uninstrumented).
+  int threads_used = 0;
+  /// Max-thread-busy over mean-thread-busy for the parallel region (1.0 =
+  /// perfectly balanced, ~threads_used = one thread did all the work;
+  /// 0 when sequential or uninstrumented). Populated only when RSKETCH_PERF
+  /// or tracing is on — measuring it costs one timer pair per kernel call.
+  double thread_imbalance = 0.0;
 
   /// Software work/traffic counters, populated when the run is instrumented
   /// or RSKETCH_PERF is on (all-zero otherwise). See perf/counters.hpp.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dense/microkernel.hpp"
+#include "perf/trace.hpp"
 
 namespace rsketch {
 
@@ -11,6 +12,10 @@ void kernel_jki(DenseMatrix<T>& a_hat, index_t i0, index_t d1,
                 const typename BlockedCsr<T>::Block& blk,
                 SketchSampler<T>& sampler, T* v, AccumTimer* sample_timer,
                 perf::KernelCounters* counters) {
+  // One trace slice per outer (i-block, vertical-block) pair — coarse enough
+  // that tracing never intrudes on the nonzero loop below.
+  static const std::uint32_t trace_id = perf::trace::intern("kernel_jki/block");
+  perf::trace::Scope trace_scope(trace_id);
   const CsrMatrix<T>& csr = blk.csr;
   const auto& row_ptr = csr.row_ptr();
   const auto& col_idx = csr.col_idx();

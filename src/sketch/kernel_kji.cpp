@@ -1,6 +1,7 @@
 #include "sketch/kernel_kji.hpp"
 
 #include "dense/microkernel.hpp"
+#include "perf/trace.hpp"
 
 namespace rsketch {
 
@@ -9,6 +10,10 @@ void kernel_kji(DenseMatrix<T>& a_hat, index_t i0, index_t d1, index_t j0,
                 index_t n1, const CscMatrix<T>& a, SketchSampler<T>& sampler,
                 T* v, AccumTimer* sample_timer,
                 perf::KernelCounters* counters) {
+  // One trace slice per outer (i-block, j-block) pair — coarse enough that
+  // tracing never intrudes on the nonzero loop below.
+  static const std::uint32_t trace_id = perf::trace::intern("kernel_kji/block");
+  perf::trace::Scope trace_scope(trace_id);
   const auto& col_ptr = a.col_ptr();
   const auto& row_idx = a.row_idx();
   const auto& values = a.values();

@@ -12,6 +12,12 @@
 // (one 8x64-bit xoshiro batch -> 16 uniforms or 64 +-1 samples): the fused
 // generate-and-axpy path consumes the stream in the same chunk layout as the
 // buffered fill, so fusing never changes which random bits land where.
+//
+// Tracing granularity: nothing in this header emits perf::trace events. The
+// loops here run per chunk / per nonzero — millions of times per sketch — so
+// even one armed-flag branch per call would be measurable. The trace
+// instrumentation floor is the kernel outer block (kernel_{jki,kji}.cpp),
+// one Scope per (i-block, j-block) pair; keep it there.
 #pragma once
 
 #include <bit>

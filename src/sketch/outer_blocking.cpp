@@ -11,7 +11,10 @@
 
 #include "dense/microkernel.hpp"
 #include "perf/perf.hpp"
+#include "perf/trace.hpp"
 #include "support/aligned_buffer.hpp"
+#include "support/env.hpp"
+#include "support/parallel.hpp"
 #include "support/timer.hpp"
 
 namespace rsketch {
@@ -29,11 +32,49 @@ struct ThreadCtx {
   AlignedBuffer<T> v;
   AccumTimer sample_timer;
   perf::KernelCounters counters;
+  /// Seconds this thread spent inside kernel calls; fed to
+  /// perf::add_parallel_busy() after the join. Only accumulated when
+  /// telemetry or tracing is on (one Timer pair per outer block).
+  double busy_seconds = 0.0;
 };
 
+/// Optional busy-time bracket around one kernel call: charges the elapsed
+/// wall time to the thread's busy total when tracking is on.
 template <typename T>
-SketchStats collect(std::vector<ThreadCtx<T>>& ctxs, double total_seconds,
-                    index_t d, index_t nnz) {
+struct BusyScope {
+  BusyScope(ThreadCtx<T>& c, bool on) : ctx(on ? &c : nullptr) {}
+  ~BusyScope() {
+    if (ctx != nullptr) ctx->busy_seconds += t.seconds();
+  }
+  BusyScope(const BusyScope&) = delete;
+  BusyScope& operator=(const BusyScope&) = delete;
+  ThreadCtx<T>* ctx;
+  Timer t;
+};
+
+/// Schedule of the jki DBlocks inner i-loop (RSKETCH_JKI_SCHEDULE =
+/// dynamic|static, default dynamic). Static exists for the load-imbalance
+/// experiment in bench/table7_parallel_scaling: it pins i-blocks to threads
+/// regardless of per-block nnz, so nnz skew across vertical blocks shows up
+/// as thread imbalance in the trace timeline and derived.thread_imbalance.
+enum class JkiSchedule { Dynamic, Static };
+
+JkiSchedule jki_schedule() {
+  static const JkiSchedule s = [] {
+    const std::string v = env_string("RSKETCH_JKI_SCHEDULE", "dynamic");
+    if (v == "static") return JkiSchedule::Static;
+    if (v != "dynamic") {
+      env_warn_once("RSKETCH_JKI_SCHEDULE", v.c_str(),
+                    "expected dynamic/static; using dynamic");
+    }
+    return JkiSchedule::Dynamic;
+  }();
+  return s;
+}
+
+template <typename T>
+SketchStats collect(std::vector<ThreadCtx<T>>& ctxs, const char* region,
+                    double total_seconds, index_t d, index_t nnz) {
   SketchStats stats;
   stats.total_seconds = total_seconds;
   for (auto& c : ctxs) {
@@ -43,6 +84,28 @@ SketchStats collect(std::vector<ThreadCtx<T>>& ctxs, double total_seconds,
     stats.counters.merge(c.counters);
   }
   if (!ctxs.empty()) stats.isa = ctxs.front().sampler.isa();
+
+  // Thread-busy split of the parallel region (only populated when the busy
+  // brackets ran). Keyed by the enclosing span's name so the report merges
+  // the imbalance fields into that span's entry.
+  const int nt = static_cast<int>(ctxs.size());
+  if (nt > 1) {
+    std::vector<double> busy(static_cast<std::size_t>(nt));
+    double total_busy = 0.0;
+    double max_busy = 0.0;
+    for (int t = 0; t < nt; ++t) {
+      busy[static_cast<std::size_t>(t)] =
+          ctxs[static_cast<std::size_t>(t)].busy_seconds;
+      total_busy += busy[static_cast<std::size_t>(t)];
+      max_busy = std::max(max_busy, busy[static_cast<std::size_t>(t)]);
+    }
+    if (total_busy > 0.0) {
+      stats.threads_used = nt;
+      const double mean = total_busy / static_cast<double>(nt);
+      stats.thread_imbalance = mean > 0.0 ? max_busy / mean : 1.0;
+      perf::add_parallel_busy(region, nt, busy.data());
+    }
+  }
   const double flops = 2.0 * static_cast<double>(d) * static_cast<double>(nnz);
   stats.gflops = total_seconds > 0 ? flops / total_seconds / 1e9 : 0.0;
   if (perf::enabled()) {
@@ -57,6 +120,12 @@ SketchStats collect(std::vector<ThreadCtx<T>>& ctxs, double total_seconds,
     if (stats.sample_seconds > 0.0) {
       perf::add_span("sample_fill", stats.sample_seconds);
     }
+  }
+  if (perf::trace::armed()) {
+    // Timeline marker of the resolved ISA tier, visible even in trace-only
+    // runs (RSKETCH_TRACE without RSKETCH_PERF).
+    perf::trace::instant(perf::trace::intern(
+        std::string("kernel_dispatch/") + microkernel::to_string(stats.isa)));
   }
   return stats;
 }
@@ -85,17 +154,22 @@ SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
   for (int t = 0; t < nthreads; ++t) ctxs.emplace_back(cfg);
   const bool count = instrument || perf::enabled();
 
+  const bool track_busy =
+      nthreads > 1 && (perf::enabled() || perf::trace::armed());
+
   Timer timer;
   if (cfg.parallel == ParallelOver::NBlocks) {
     // Threads own disjoint column panels of Â; no synchronization needed.
 #pragma omp parallel for schedule(dynamic) num_threads(nthreads)
     for (index_t jb = 0; jb < n_jblocks; ++jb) {
+      trace_name_omp_thread();
       auto& ctx = ctxs[static_cast<std::size_t>(omp_get_thread_num())];
       const index_t j0 = jb * bn;
       const index_t n1 = std::min(bn, n - j0);
       for (index_t ib = 0; ib < n_iblocks; ++ib) {
         const index_t i0 = ib * bd;
         const index_t d1 = std::min(bd, d - i0);
+        BusyScope<T> busy(ctx, track_busy);
         kernel_kji(a_hat, i0, d1, j0, n1, a, ctx.sampler, ctx.v.data(),
                    instrument ? &ctx.sample_timer : nullptr,
                    count ? &ctx.counters : nullptr);
@@ -107,6 +181,7 @@ SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
     // inner d-loop — disjoint row panels of Â.
 #pragma omp parallel num_threads(nthreads) if (nthreads > 1)
     {
+      trace_name_omp_thread();
       auto& ctx = ctxs[static_cast<std::size_t>(omp_get_thread_num())];
       for (index_t jb = 0; jb < n_jblocks; ++jb) {
         const index_t j0 = jb * bn;
@@ -115,6 +190,7 @@ SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
         for (index_t ib = 0; ib < n_iblocks; ++ib) {
           const index_t i0 = ib * bd;
           const index_t d1 = std::min(bd, d - i0);
+          BusyScope<T> busy(ctx, track_busy);
           kernel_kji(a_hat, i0, d1, j0, n1, a, ctx.sampler, ctx.v.data(),
                      instrument ? &ctx.sample_timer : nullptr,
                      count ? &ctx.counters : nullptr);
@@ -122,7 +198,7 @@ SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
       }
     }
   }
-  return collect(ctxs, timer.seconds(), d, a.nnz());
+  return collect(ctxs, "sketch_blocked_kji", timer.seconds(), d, a.nnz());
 }
 
 template <typename T>
@@ -145,15 +221,20 @@ SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
   for (int t = 0; t < nthreads; ++t) ctxs.emplace_back(cfg);
   const bool count = instrument || perf::enabled();
 
+  const bool track_busy =
+      nthreads > 1 && (perf::enabled() || perf::trace::armed());
+
   Timer timer;
   if (cfg.parallel == ParallelOver::NBlocks) {
     // Each vertical block updates only its own column slab of Â.
 #pragma omp parallel for schedule(dynamic) num_threads(nthreads)
     for (index_t jb = 0; jb < n_jblocks; ++jb) {
+      trace_name_omp_thread();
       auto& ctx = ctxs[static_cast<std::size_t>(omp_get_thread_num())];
       for (index_t ib = 0; ib < n_iblocks; ++ib) {
         const index_t i0 = ib * bd;
         const index_t d1 = std::min(bd, d - i0);
+        BusyScope<T> busy(ctx, track_busy);
         kernel_jki(a_hat, i0, d1, ab.block(jb), ctx.sampler, ctx.v.data(),
                    instrument ? &ctx.sample_timer : nullptr,
                    count ? &ctx.counters : nullptr);
@@ -162,25 +243,35 @@ SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
   } else {
 #pragma omp parallel num_threads(nthreads) if (nthreads > 1)
     {
+      trace_name_omp_thread();
       auto& ctx = ctxs[static_cast<std::size_t>(omp_get_thread_num())];
       for (index_t jb = 0; jb < n_jblocks; ++jb) {
+        auto body = [&](index_t ib) {
+          const index_t i0 = ib * bd;
+          const index_t d1 = std::min(bd, d - i0);
+          BusyScope<T> busy(ctx, track_busy);
+          kernel_jki(a_hat, i0, d1, ab.block(jb), ctx.sampler, ctx.v.data(),
+                     instrument ? &ctx.sample_timer : nullptr,
+                     count ? &ctx.counters : nullptr);
+        };
         // dynamic, not static: within one vertical block every i-block costs
         // the same, but across blocks nnz can be wildly skewed, and with
         // nowait threads flow across the jb boundary — dynamic chunks keep a
         // thread that finished a sparse block from idling behind one stuck
         // in a dense block (bench/table7_parallel_scaling's skewed case).
+        // RSKETCH_JKI_SCHEDULE=static forces the naive pinning for the
+        // imbalance experiments.
+        if (jki_schedule() == JkiSchedule::Static) {
+#pragma omp for schedule(static) nowait
+          for (index_t ib = 0; ib < n_iblocks; ++ib) body(ib);
+        } else {
 #pragma omp for schedule(dynamic) nowait
-        for (index_t ib = 0; ib < n_iblocks; ++ib) {
-          const index_t i0 = ib * bd;
-          const index_t d1 = std::min(bd, d - i0);
-          kernel_jki(a_hat, i0, d1, ab.block(jb), ctx.sampler, ctx.v.data(),
-                     instrument ? &ctx.sample_timer : nullptr,
-                     count ? &ctx.counters : nullptr);
+          for (index_t ib = 0; ib < n_iblocks; ++ib) body(ib);
         }
       }
     }
   }
-  return collect(ctxs, timer.seconds(), d, ab.nnz());
+  return collect(ctxs, "sketch_blocked_jki", timer.seconds(), d, ab.nnz());
 }
 
 template SketchStats sketch_blocked_kji<float>(const SketchConfig&,

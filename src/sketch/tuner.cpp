@@ -13,6 +13,7 @@
 #include "analysis/pattern.hpp"
 #include "perf/json.hpp"
 #include "perf/perf.hpp"
+#include "perf/trace.hpp"
 #include "sketch/autotune.hpp"
 #include "sketch/sketch.hpp"
 #include "support/env.hpp"
@@ -114,6 +115,14 @@ std::pair<std::size_t, double> time_candidates(
   double best_secs = 1e300;
   for (std::size_t c = 0; c < cands.size(); ++c) {
     apply(pcfg, cands[c]);
+    // Label each pilot run with the candidate it timed, so the timeline shows
+    // which (kernel, blocks, backend) combination each slice belongs to.
+    // Interning the dynamic name is safe (the table owns it) and off the hot
+    // path; skipped entirely when tracing is off.
+    perf::trace::Scope cand_scope(
+        perf::trace::armed()
+            ? perf::trace::intern("tuner/candidate/" + cands[c].label())
+            : 0);
     double secs = 1e300;
     for (int rep = 0; rep < reps; ++rep) {
       Timer t;

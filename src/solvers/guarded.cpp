@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "perf/perf.hpp"
+#include "perf/trace.hpp"
 #include "rng/splitmix64.hpp"
 #include "sketch/sketch.hpp"
 #include "sparse/validate.hpp"
@@ -80,6 +81,13 @@ GuardedSapResult<T> guarded_sap_solve(const CscMatrix<T>& a,
     Timer attempt_timer;
     SapAttemptLog log;
     log.attempt = attempt + 1;
+    // Timeline marker per attempt (value = 1-based attempt number) so retries
+    // and d-escalations are visible between the sketch/factor/lsqr slices.
+    if (perf::trace::armed()) {
+      static const std::uint32_t attempt_id =
+          perf::trace::intern("guarded_sap/attempt");
+      perf::trace::instant(attempt_id, static_cast<double>(log.attempt));
+    }
 
     // Fresh seed per retry (SplitMix-derived so nearby attempts are
     // uncorrelated), escalated d toward the 4n cap.

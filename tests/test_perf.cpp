@@ -89,6 +89,82 @@ TEST(PerfCore, ResetZeroesEverything) {
   EXPECT_TRUE(snap.spans.empty());
 }
 
+// The latency histogram buckets by power-of-two nanoseconds, so percentile
+// estimates are correct within one octave and exact at the envelope: the
+// invariants min <= p50 <= p95 <= p99 <= max must hold for any input.
+TEST(PerfHistogram, PercentilesTrackReferenceWithinOneOctave) {
+  perf::SpanStat st;
+  // 1..1000 µs uniformly: true q-quantile is q * 1e-3 seconds.
+  for (int i = 1; i <= 1000; ++i) st.record(static_cast<double>(i) * 1e-6);
+  EXPECT_EQ(st.count, 1000u);
+  EXPECT_DOUBLE_EQ(st.min_seconds, 1e-6);
+  EXPECT_DOUBLE_EQ(st.max_seconds, 1e-3);
+  EXPECT_NEAR(st.mean_seconds(), 500.5e-6, 1e-9);
+  for (const double q : {0.50, 0.95, 0.99}) {
+    const double ref = q * 1e-3;
+    const double est = st.percentile(q);
+    // One-octave bucket resolution: the estimate brackets the true quantile
+    // by at most a factor of two either way.
+    EXPECT_GE(est, ref / 2.0) << "q=" << q;
+    EXPECT_LE(est, ref * 2.0) << "q=" << q;
+  }
+  EXPECT_LE(st.percentile(0.50), st.percentile(0.95));
+  EXPECT_LE(st.percentile(0.95), st.percentile(0.99));
+  EXPECT_LE(st.percentile(0.99), st.max_seconds);
+  EXPECT_GE(st.percentile(0.0), st.min_seconds);
+}
+
+TEST(PerfHistogram, SingleValueAndMergeAreExact) {
+  perf::SpanStat a;
+  a.record(3e-6);
+  EXPECT_DOUBLE_EQ(a.percentile(0.5), 3e-6);  // clamped to the exact envelope
+  perf::SpanStat b;
+  b.record(40e-6, 4);  // 4 executions bucketed at their 10 µs mean
+  EXPECT_EQ(b.count, 4u);
+  EXPECT_DOUBLE_EQ(b.min_seconds, 10e-6);
+  a.merge(b);
+  EXPECT_EQ(a.count, 5u);
+  EXPECT_DOUBLE_EQ(a.min_seconds, 3e-6);
+  EXPECT_DOUBLE_EQ(a.max_seconds, 10e-6);
+  EXPECT_DOUBLE_EQ(a.seconds, 43e-6);
+  EXPECT_LE(a.percentile(0.5), a.percentile(0.99));
+}
+
+// Span names are interned at construction, so a dynamically built name may
+// die before snapshot() resolves it — the old footgun this design removes.
+TEST(PerfCore, DynamicSpanNamesOutliveTheirBuffers) {
+  PerfToggle toggle(true);
+  {
+    std::string dynamic = "dyn_span_" + std::to_string(7);
+    perf::Span span(dynamic.c_str());
+    dynamic.assign(64, 'x');  // clobber the original buffer
+  }
+  {
+    std::string dynamic = "dyn_add_" + std::to_string(9);
+    perf::add_span(dynamic, 0.5);
+  }
+  const auto snap = perf::snapshot();
+  EXPECT_EQ(snap.spans.count("dyn_span_7"), 1u);
+  ASSERT_EQ(snap.spans.count("dyn_add_9"), 1u);
+  EXPECT_DOUBLE_EQ(snap.spans.at("dyn_add_9").seconds, 0.5);
+}
+
+TEST(PerfCore, ParallelBusyComputesImbalance) {
+  PerfToggle toggle(true);
+  const double busy[4] = {3.0, 1.0, 1.0, 1.0};  // mean 1.5, max 3.0
+  perf::add_parallel_busy("busy_region", 4, busy);
+  const double even[4] = {1.0, 1.0, 1.0, 1.0};
+  perf::add_parallel_busy("busy_region", 4, even);
+  const auto snap = perf::snapshot();
+  ASSERT_EQ(snap.busy.count("busy_region"), 1u);
+  const auto& bs = snap.busy.at("busy_region");
+  EXPECT_EQ(bs.calls, 2u);
+  EXPECT_EQ(bs.thread_slots, 8u);
+  EXPECT_DOUBLE_EQ(bs.busy_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(bs.max_imbalance, 2.0);  // worst call, not the average
+  EXPECT_DOUBLE_EQ(bs.mean_thread_busy(), 1.25);
+}
+
 TEST(PerfCore, SpanRecordsElapsedWallClock) {
   PerfToggle toggle(true);
   {
@@ -265,6 +341,67 @@ TEST(PerfReport, ValidatorFlagsMissingSections) {
   half["schema_version"] = perf::Json(1);
   half["name"] = perf::Json("x");
   EXPECT_FALSE(perf::validate_bench_report(half).empty());
+  half["schema_version"] = perf::Json(3);  // unknown version
+  EXPECT_FALSE(perf::validate_bench_report(half).empty());
+}
+
+// schema_version 2 reports carry the latency summary per span and the
+// thread-imbalance fields; the validator enforces their internal ordering.
+TEST(PerfReport, SchemaV2SpansCarryConsistentHistograms) {
+  PerfToggle toggle(true);
+  for (int i = 0; i < 50; ++i) {
+    perf::add_span("v2_span", 1e-5 * (1 + i % 7));
+  }
+  const double busy[2] = {2.0, 1.0};
+  perf::add_parallel_busy("v2_region", 2, busy);
+
+  perf::ReportBuilder report("v2_unit");
+  report.timing("t", 0.001);
+  perf::Json doc = report.build();
+  EXPECT_EQ(doc.find("schema_version")->as_int(), 2);
+  EXPECT_TRUE(perf::validate_bench_report(doc).empty());
+
+  const perf::Json* span = doc.find("spans")->find("v2_span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->find("count")->as_int(), 50);
+  const double p50 = span->find("p50_seconds")->as_double();
+  const double p95 = span->find("p95_seconds")->as_double();
+  const double p99 = span->find("p99_seconds")->as_double();
+  EXPECT_GE(p50, span->find("min_seconds")->as_double());
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, span->find("max_seconds")->as_double());
+
+  const perf::Json* region = doc.find("spans")->find("v2_region");
+  ASSERT_NE(region, nullptr);
+  EXPECT_DOUBLE_EQ(region->find("thread_imbalance")->as_double(), 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(doc.find("derived")->find("thread_imbalance")->as_double(),
+                   4.0 / 3.0);
+
+  // A percentile inversion or min > max must be rejected, not emitted.
+  perf::Json broken = perf::Json::parse(doc.dump(2));
+  broken["spans"]["v2_span"]["p50_seconds"] = perf::Json(1.0);
+  EXPECT_FALSE(perf::validate_bench_report(broken).empty());
+  perf::Json broken2 = perf::Json::parse(doc.dump(2));
+  broken2["spans"]["v2_span"]["min_seconds"] = perf::Json(5.0);
+  EXPECT_FALSE(perf::validate_bench_report(broken2).empty());
+  perf::Json broken3 = perf::Json::parse(doc.dump(2));
+  broken3["derived"]["thread_imbalance"] = perf::Json(0.5);
+  EXPECT_FALSE(perf::validate_bench_report(broken3).empty());
+}
+
+// Legacy schema_version 1 documents ({count, seconds} spans) stay valid, so
+// archived reports and old baselines keep passing the smoke gate.
+TEST(PerfReport, SchemaV1DocumentsStillValidate) {
+  PerfToggle toggle(true);
+  perf::ReportBuilder report("v1_unit");
+  report.timing("t", 0.5);
+  perf::Json doc = report.build();
+  doc["schema_version"] = perf::Json(1);
+  // Strip the v2 span fields to mimic a genuine v1 document.
+  perf::Json spans = perf::Json::object();
+  doc["spans"] = spans;
+  EXPECT_TRUE(perf::validate_bench_report(doc).empty());
 }
 
 // The hardware backend must be internally consistent whether or not the

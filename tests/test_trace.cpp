@@ -1,0 +1,230 @@
+// Tests for the trace timeline recorder (src/perf/trace.hpp): interning,
+// ring wraparound accounting, multithreaded begin/end pairing (the parallel
+// label runs this under TSan in the sanitizer CI job), Chrome-trace export
+// shape, and the tracing-off bitwise-identity guarantee.
+//
+// The first arm() in this binary pins the ring capacity to kTestCapacity for
+// every thread (capacity resolves once per process), so the wraparound test
+// is deterministic no matter the test order.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "perf/json.hpp"
+#include "perf/perf.hpp"
+#include "perf/trace.hpp"
+#include "sketch/sketch.hpp"
+#include "sparse/generate.hpp"
+#include "support/parallel.hpp"
+
+namespace rsketch {
+namespace {
+
+constexpr std::size_t kTestCapacity = 64;
+
+/// Arms tracing (small rings, no at-exit output) for one test and restores
+/// "disarmed, empty" after, so the tests are order-independent.
+struct TraceGuard {
+  TraceGuard() {
+    perf::trace::set_output("");
+    perf::trace::arm(kTestCapacity);
+    perf::trace::clear();
+  }
+  ~TraceGuard() {
+    perf::trace::disarm();
+    perf::trace::clear();
+  }
+};
+
+/// Events in the exported document matching (name, phase); empty name or
+/// phase matches everything.
+std::vector<const perf::Json*> find_events(const perf::Json& doc,
+                                           const std::string& name,
+                                           const std::string& ph) {
+  std::vector<const perf::Json*> out;
+  const perf::Json* events = doc.find("traceEvents");
+  if (events == nullptr) return out;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const perf::Json& e = events->at(i);
+    if (!name.empty() &&
+        (e.find("name") == nullptr || e.find("name")->as_string() != name)) {
+      continue;
+    }
+    if (!ph.empty() &&
+        (e.find("ph") == nullptr || e.find("ph")->as_string() != ph)) {
+      continue;
+    }
+    out.push_back(&e);
+  }
+  return out;
+}
+
+TEST(TraceIntern, StableIdsAndSafeTemporaries) {
+  const std::uint32_t a = perf::trace::intern("trace_unit_name");
+  const std::uint32_t b = perf::trace::intern("trace_unit_name");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(perf::trace::name_of(a), "trace_unit_name");
+  {
+    const std::string dynamic = "trace_dyn_" + std::to_string(42);
+    const std::uint32_t id = perf::trace::intern(dynamic);
+    // The table owns the string; the lookup outlives the temporary.
+    EXPECT_EQ(perf::trace::name_of(id), "trace_dyn_42");
+  }
+  EXPECT_EQ(perf::trace::name_of(0xFFFFFFFFu), "?");
+}
+
+TEST(TraceRing, DisarmedRecordsNothing) {
+  {
+    TraceGuard guard;  // pins capacity; cleared on exit
+  }
+  EXPECT_FALSE(perf::trace::armed());
+  const std::uint32_t id = perf::trace::intern("off_event");
+  perf::trace::begin(id);
+  perf::trace::end(id);
+  perf::trace::instant(id);
+  EXPECT_EQ(perf::trace::recorded_events(), 0u);
+}
+
+TEST(TraceRing, WraparoundKeepsNewestAndCountsDropped) {
+  TraceGuard guard;
+  const std::uint32_t id = perf::trace::intern("wrap_test");
+  const std::size_t total = 3 * kTestCapacity + 5;
+  for (std::size_t i = 0; i < total; ++i) {
+    perf::trace::instant(id, static_cast<double>(i));
+  }
+  EXPECT_EQ(perf::trace::recorded_events(), total);
+  EXPECT_EQ(perf::trace::dropped_events(), total - kTestCapacity);
+
+  const perf::Json doc = perf::trace::chrome_trace_json();
+  const auto kept = find_events(doc, "wrap_test", "i");
+  ASSERT_EQ(kept.size(), kTestCapacity);
+  // The survivors are exactly the newest events, still in order.
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    const perf::Json* args = kept[k]->find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_DOUBLE_EQ(args->find("value")->as_double(),
+                     static_cast<double>(total - kTestCapacity + k));
+  }
+  // The per-thread loss shows as a counter track next to otherData's total.
+  EXPECT_FALSE(find_events(doc, "dropped_events", "C").empty());
+  EXPECT_EQ(static_cast<std::size_t>(
+                doc.find("otherData")->find("dropped_events")->as_int()),
+            total - kTestCapacity);
+}
+
+TEST(TraceRing, BeginEndPairingAcrossOmpThreads) {
+  TraceGuard guard;
+  const int threads = 4;
+  const int scopes = 8;  // 2*8 events per thread, well under kTestCapacity
+  const std::uint32_t id = perf::trace::intern("omp_scope");
+#pragma omp parallel num_threads(threads)
+  {
+    trace_name_omp_thread();
+    for (int s = 0; s < scopes; ++s) {
+      perf::trace::Scope scope(id);
+    }
+  }
+  EXPECT_EQ(perf::trace::dropped_events(), 0u);
+  const perf::Json doc = perf::trace::chrome_trace_json();
+  const auto begins = find_events(doc, "omp_scope", "B");
+  const auto ends = find_events(doc, "omp_scope", "E");
+  EXPECT_EQ(begins.size(), static_cast<std::size_t>(threads * scopes));
+  EXPECT_EQ(ends.size(), begins.size());
+  // Every recording thread is named in the timeline metadata.
+  std::size_t named = 0;
+  for (const perf::Json* meta : find_events(doc, "thread_name", "M")) {
+    const std::string tname = meta->find("args")->find("name")->as_string();
+    if (tname.rfind("omp-worker-", 0) == 0) ++named;
+  }
+  EXPECT_GE(named, static_cast<std::size_t>(threads));
+}
+
+TEST(TraceExport, CompleteEventsCarryDuration) {
+  TraceGuard guard;
+  perf::add_span("trace_complete_span", 0.025);  // trace-only: perf is off
+  const perf::Json doc = perf::trace::chrome_trace_json();
+  const auto xs = find_events(doc, "trace_complete_span", "X");
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_NEAR(xs[0]->find("dur")->as_double(), 25000.0, 1.0);  // µs
+  // ts may be negative: the slice is back-dated from "now", and the interval
+  // can genuinely start before the trace epoch. Perfetto accepts that.
+  ASSERT_NE(xs[0]->find("ts"), nullptr);
+}
+
+TEST(TraceExport, SketchEmitsKernelBlockEvents) {
+  TraceGuard guard;
+  const auto a = random_sparse<double>(200, 60, 0.05, 13);
+  SketchConfig cfg;
+  cfg.d = 64;
+  cfg.block_d = 24;  // several i-blocks so multiple slices appear
+  cfg.kernel = KernelVariant::Kji;
+  cfg.parallel = ParallelOver::Sequential;
+  DenseMatrix<double> a_hat(cfg.d, a.cols());
+  sketch_into(cfg, a, a_hat);
+
+  const perf::Json doc = perf::trace::chrome_trace_json();
+  const auto blocks = find_events(doc, "kernel_kji/block", "B");
+  EXPECT_GE(blocks.size(), 2u);
+  EXPECT_EQ(find_events(doc, "kernel_kji/block", "E").size(), blocks.size());
+  // The dispatch-tier marker rides along even without RSKETCH_PERF.
+  std::size_t dispatch = 0;
+  for (const perf::Json* e : find_events(doc, "", "i")) {
+    const std::string n = e->find("name")->as_string();
+    if (n.rfind("kernel_dispatch/", 0) == 0) ++dispatch;
+  }
+  EXPECT_EQ(dispatch, 1u);
+}
+
+TEST(TraceExport, WriteProducesLoadableJson) {
+  TraceGuard guard;
+  const std::uint32_t id = perf::trace::intern("file_event");
+  perf::trace::begin(id);
+  perf::trace::end(id);
+  const std::string path = testing::TempDir() + "rsketch_trace_unit.json";
+  ASSERT_EQ(perf::trace::write(path), path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  std::remove(path.c_str());
+  const perf::Json doc = perf::Json::parse(text);
+  EXPECT_FALSE(find_events(doc, "file_event", "B").empty());
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+  EXPECT_GE(doc.find("otherData")->find("threads")->as_int(), 1);
+}
+
+// Tracing is observability, not computation: the sketch must be bitwise
+// identical with the recorder armed and disarmed.
+TEST(TraceOverhead, TracingOffAndOnAreBitwiseIdentical) {
+  const auto a = random_sparse<double>(300, 80, 0.04, 29);
+  SketchConfig cfg;
+  cfg.d = 96;
+  cfg.block_d = 40;
+  cfg.kernel = KernelVariant::Jki;
+  cfg.parallel = ParallelOver::DBlocks;
+
+  DenseMatrix<double> plain(cfg.d, a.cols());
+  sketch_into(cfg, a, plain);
+  DenseMatrix<double> traced(cfg.d, a.cols());
+  {
+    TraceGuard guard;
+    sketch_into(cfg, a, traced);
+  }
+  ASSERT_EQ(plain.rows(), traced.rows());
+  ASSERT_EQ(plain.cols(), traced.cols());
+  ASSERT_EQ(plain.ld(), traced.ld());
+  EXPECT_EQ(std::memcmp(plain.data(), traced.data(),
+                        sizeof(double) * static_cast<std::size_t>(
+                                             plain.ld() * plain.cols())),
+            0);
+}
+
+}  // namespace
+}  // namespace rsketch

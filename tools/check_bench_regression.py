@@ -4,6 +4,8 @@
 Deterministic software counters (samples generated, bytes moved, flops, ...)
 must not regress by more than --tolerance; wall time is warn-only, because CI
 runners are noisy but the counters are exact functions of the workload.
+derived.thread_imbalance (schema_version 2) is likewise warn-only: scheduling
+jitter moves it run to run, but a sustained jump is worth a look.
 
 Exit codes: 0 pass (warnings allowed), 1 counter regression or broken input.
 
@@ -56,6 +58,13 @@ def main():
         help="fractional wall-time increase that triggers a warning "
         "(default 0.50; never fails)",
     )
+    ap.add_argument(
+        "--imbalance-warn",
+        type=float,
+        default=2.0,
+        help="derived.thread_imbalance above which to warn when the baseline "
+        "carries no value of its own (default 2.0; never fails)",
+    )
     args = ap.parse_args()
 
     current = load(args.current)
@@ -106,6 +115,29 @@ def main():
             f"wall time (advisory): baseline {base_secs:.3f}s, "
             f"current {cur_secs:.3f}s ({rel:+.1%}) {label}"
         )
+
+    # Thread imbalance (schema_version 2): advisory only. Against a baseline
+    # value the counter tolerance applies; without one, an absolute threshold.
+    cur_imb = current.get("derived", {}).get("thread_imbalance")
+    base_imb = baseline.get("derived", {}).get("thread_imbalance")
+    if isinstance(cur_imb, (int, float)):
+        if isinstance(base_imb, (int, float)) and base_imb > 0:
+            rel = (cur_imb - base_imb) / base_imb
+            label = "warn" if rel > args.tolerance else "ok"
+            if rel > args.tolerance:
+                warnings += 1
+            print(
+                f"thread imbalance (advisory): baseline {base_imb:.2f}, "
+                f"current {cur_imb:.2f} ({rel:+.1%}) {label}"
+            )
+        else:
+            label = "warn" if cur_imb > args.imbalance_warn else "ok"
+            if cur_imb > args.imbalance_warn:
+                warnings += 1
+            print(
+                f"thread imbalance (advisory): current {cur_imb:.2f} "
+                f"(threshold {args.imbalance_warn:.2f}) {label}"
+            )
 
     if failures:
         print(f"\nFAIL: {failures} counter regression(s)", file=sys.stderr)

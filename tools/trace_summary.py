@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace-event JSON produced by RSKETCH_TRACE.
+
+Prints a per-thread busy/idle table (busy = time inside top-level slices,
+idle = trace wall span minus busy) and the top N slowest individual slices,
+then reports drop accounting from otherData. Works on the "JSON object
+format" the tracer writes ({"traceEvents": [...]}) and on a bare event array.
+
+Well-formedness checks (always on): the file must parse, every event needs
+name/ph/ts/tid, and B/E events must pair up per thread. Unmatched pairs are
+warnings by default — ring wraparound legitimately drops old events — and
+fatal under --strict, which the `trace` ctest uses on a drop-free trace.
+
+Exit codes: 0 ok, 1 malformed trace (or unmatched pairs under --strict).
+
+Usage:
+  trace_summary.py TRACE.json [--top 10] [--strict]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    if isinstance(doc, list):
+        return doc, {}
+    if isinstance(doc, dict) and isinstance(doc.get("traceEvents"), list):
+        return doc["traceEvents"], doc.get("otherData", {})
+    print(f"error: {path} is not a Chrome trace document", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument(
+        "--top", type=int, default=10, help="slowest slices to list (default 10)"
+    )
+    ap.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat unmatched B/E pairs as errors instead of warnings",
+    )
+    args = ap.parse_args()
+
+    events, other = load_events(args.trace)
+
+    thread_names = {}
+    stacks = defaultdict(list)  # tid -> [(name, ts)], open B slices
+    busy = defaultdict(float)  # tid -> top-level busy microseconds
+    slices = []  # (dur_us, name, tid, ts)
+    t_min, t_max = None, None
+    errors = 0
+    unmatched = 0
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            print(f"error: event {i} is not an object", file=sys.stderr)
+            errors += 1
+            continue
+        ph = ev.get("ph")
+        name = ev.get("name")
+        tid = ev.get("tid")
+        if ph is None or name is None or tid is None:
+            print(f"error: event {i} lacks ph/name/tid", file=sys.stderr)
+            errors += 1
+            continue
+        if ph == "M":
+            if name == "thread_name":
+                thread_names[tid] = ev.get("args", {}).get("name", "")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            print(f"error: event {i} ({name}) lacks a numeric ts", file=sys.stderr)
+            errors += 1
+            continue
+        t_min = ts if t_min is None else min(t_min, ts)
+        t_max = ts if t_max is None else max(t_max, ts)
+        if ph == "B":
+            stacks[tid].append((name, ts))
+        elif ph == "E":
+            if not stacks[tid]:
+                unmatched += 1
+                continue
+            open_name, t0 = stacks[tid].pop()
+            if open_name != name:
+                print(
+                    f"error: tid {tid}: E '{name}' closes B '{open_name}'",
+                    file=sys.stderr,
+                )
+                errors += 1
+                continue
+            dur = ts - t0
+            slices.append((dur, name, tid, t0))
+            if not stacks[tid]:  # top-level slice: counts as busy time
+                busy[tid] += dur
+        elif ph == "X":
+            dur = ev.get("dur", 0.0)
+            if not isinstance(dur, (int, float)) or dur < 0:
+                print(f"error: event {i} ({name}): bad dur", file=sys.stderr)
+                errors += 1
+                continue
+            t_max = max(t_max, ts + dur)
+            slices.append((dur, name, tid, ts))
+            busy[tid] += dur
+        # "i" and "C" events only contribute to the wall span.
+
+    for tid, stack in sorted(stacks.items()):
+        unmatched += len(stack)
+        for name, _ in stack:
+            print(f"warning: tid {tid}: B '{name}' never closed", file=sys.stderr)
+
+    wall = (t_max - t_min) if t_min is not None else 0.0
+    tids = sorted(set(busy) | set(thread_names) | set(stacks))
+    print(f"threads: {len(tids)}, events: {len(events)}, wall: {wall / 1e3:.3f} ms")
+    print(f"{'tid':>5}  {'thread':<20} {'busy ms':>10} {'idle ms':>10} {'busy %':>7}")
+    for tid in tids:
+        b = busy.get(tid, 0.0)
+        idle = max(0.0, wall - b)
+        pct = 100.0 * b / wall if wall > 0 else 0.0
+        tname = thread_names.get(tid, f"thread-{tid}")
+        print(f"{tid:>5}  {tname:<20} {b / 1e3:>10.3f} {idle / 1e3:>10.3f} {pct:>6.1f}%")
+
+    slices.sort(key=lambda s: -s[0])
+    if slices:
+        print(f"\ntop {min(args.top, len(slices))} slowest slices:")
+        print(f"{'dur ms':>10}  {'tid':>5}  name")
+        for dur, name, tid, _ in slices[: args.top]:
+            print(f"{dur / 1e3:>10.3f}  {tid:>5}  {name}")
+
+    dropped = other.get("dropped_events", 0)
+    print(f"\ndropped events: {dropped}, unmatched pairs: {unmatched}")
+
+    if errors or (args.strict and unmatched):
+        print(
+            f"FAIL: {errors} error(s), {unmatched} unmatched pair(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
