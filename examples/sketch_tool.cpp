@@ -30,6 +30,7 @@
 #include "sparse/ops.hpp"
 #include "sparse/validate.hpp"
 #include "support/cli.hpp"
+#include "support/run_control.hpp"
 
 using namespace rsketch;
 
@@ -50,7 +51,15 @@ int usage(const char* prog) {
                "  --tune selects block/kernel/backend autotuning "
                "(docs/AUTOTUNING.md; default: model blocks only)\n"
                "  --trace PATH records a Chrome-trace timeline to PATH "
-               "(same as RSKETCH_TRACE=PATH; docs/OBSERVABILITY.md)\n",
+               "(same as RSKETCH_TRACE=PATH; docs/OBSERVABILITY.md)\n"
+               "  --deadline-ms T / --budget-mb M bound the run "
+               "(same as RSKETCH_DEADLINE_MS / RSKETCH_BUDGET_MB)\n"
+               "  --on-pressure fail|degrade picks the budget-pressure policy "
+               "(default degrade; docs/ROBUSTNESS.md)\n"
+               "  --block-d D / --block-n N pin the outer blocks "
+               "(bypasses autotuning; for scripted, reproducible runs)\n"
+               "exit codes: 0 ok, 1 I/O or internal error, 2 usage or input "
+               "validation, 3 numeric failure, 4 deadline, 5 budget\n",
                prog, prog, prog);
   return 2;
 }
@@ -60,6 +69,13 @@ Dist parse_dist(const std::string& s) {
   if (s == "uniform") return Dist::Uniform;
   if (s == "gauss") return Dist::Gaussian;
   throw invalid_argument_error("unknown --dist '" + s + "'");
+}
+
+OnPressure parse_on_pressure(const std::string& s) {
+  if (s == "fail") return OnPressure::Fail;
+  if (s == "degrade") return OnPressure::Degrade;
+  throw invalid_argument_error("unknown --on-pressure '" + s +
+                               "' (want fail|degrade)");
 }
 
 std::vector<double> read_vector(const std::string& path, index_t expect) {
@@ -105,12 +121,27 @@ int cmd_sketch(const CliArgs& args, const CscMatrix<double>& a) {
                                          : KernelVariant::Kji;
   cfg.normalize = true;
   cfg.check_inputs = !args.has("no-check");
+  cfg.deadline_ms = args.get_double("deadline-ms", 0.0);
+  cfg.workspace_budget_bytes = static_cast<std::size_t>(
+      args.get_double("budget-mb", 0.0) * 1e6);
+  cfg.on_pressure = parse_on_pressure(args.get("on-pressure", "degrade"));
   const std::string isa = args.get("isa", "auto");
   require(microkernel::parse_isa(isa, &cfg.isa),
           "unknown --isa '" + isa + "' (want auto|scalar|avx2|avx512)");
   TuneDecision decision;
   const std::string tune = args.get("tune", "");
-  if (tune.empty()) {
+  const index_t block_d_flag =
+      static_cast<index_t>(args.get_int("block-d", 0));
+  const index_t block_n_flag =
+      static_cast<index_t>(args.get_int("block-n", 0));
+  if (block_d_flag > 0 || block_n_flag > 0) {
+    // Pinned blocks: model defaults fill whichever flag is absent, and the
+    // (timing-dependent) empirical tuner is bypassed so scripted runs — the
+    // degradation-ladder ctest in particular — are bitwise reproducible.
+    autotune_blocks(cfg, a);
+    if (block_d_flag > 0) cfg.block_d = block_d_flag;
+    if (block_n_flag > 0) cfg.block_n = block_n_flag;
+  } else if (tune.empty()) {
     // Historical default: model-suggested blocks, caller's kernel/backend.
     autotune_blocks(cfg, a);
   } else {
@@ -160,7 +191,15 @@ int cmd_sketch(const CliArgs& args, const CscMatrix<double>& a) {
   std::printf("done in %.3f s (%.2f GFlop/s, %llu samples on the fly)\n",
               stats.total_seconds, stats.gflops,
               static_cast<unsigned long long>(stats.samples_generated));
+  if (cfg.deadline_ms > 0.0 || cfg.workspace_budget_bytes > 0 ||
+      env_deadline_ms() > 0.0 || env_budget_bytes() > 0) {
+    // Run-control summary: scripted callers grep this line (and the JSON
+    // counter below) to confirm the ladder engaged.
+    std::printf("degradations=%llu\n",
+                static_cast<unsigned long long>(stats.degradations));
+  }
   if (report.active()) {
+    report.counter("degradations", stats.degradations);
     std::printf("measured intensity: %.2f flops/element "
                 "(%llu nonzeros processed)\n",
                 stats.measured_intensity(),
@@ -202,6 +241,11 @@ int cmd_solve(const CliArgs& args, CscMatrix<double> a) {
     gopt.base = opt;
     gopt.max_attempts = static_cast<int>(args.get_int("attempts", 3));
     gopt.check_inputs = !args.has("no-check");
+    // The deadline spans ALL attempts (exactly-once semantics): an expired
+    // clock stops the solve before the next attempt starts.
+    gopt.deadline_ms = args.get_double("deadline-ms", 0.0);
+    gopt.workspace_budget_bytes = static_cast<std::size_t>(
+        args.get_double("budget-mb", 0.0) * 1e6);
     // Fault-injection aid (see docs/ROBUSTNESS.md): deliberately poison the
     // first N sketches so the recovery path is demonstrable end to end.
     gopt.poison_first_attempts = static_cast<int>(args.get_int("poison", 0));
@@ -275,12 +319,30 @@ int main(int argc, char** argv) {
     perf::trace::arm();
   }
 
+  // Distinct exit codes per failure class (documented in usage()): scripts
+  // can tell a corrupt input (2) from a numeric failure (3) from a fired
+  // deadline (4) or budget (5) without parsing stderr. The guarded-solve
+  // attempt log is embedded in the exception messages, so printing what()
+  // surfaces the full retry history on failure.
   try {
     CscMatrix<double> a = read_matrix_market_file<double>(in_path);
     if (cmd == "info") return cmd_info(args, a);
     if (cmd == "sketch") return cmd_sketch(args, a);
     if (cmd == "solve") return cmd_solve(args, std::move(a));
     return usage(argv[0]);
+  } catch (const validation_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const run_stopped_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    switch (e.cause()) {
+      case StopCause::DeadlineExceeded: return 4;
+      case StopCause::BudgetExceeded: return 5;
+      default: return 1;  // Cancelled: no signal handler wires this yet
+    }
+  } catch (const numeric_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

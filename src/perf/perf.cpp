@@ -193,6 +193,10 @@ const char* counter_name(Counter c) {
     case Counter::TunerCacheMisses: return "tuner_cache_misses";
     case Counter::TunerCandidatesTimed: return "tuner_candidates_timed";
     case Counter::KernelDispatches: return "kernel_dispatch";
+    case Counter::RunDegradations: return "run_degradations";
+    case Counter::RunCancelled: return "run_cancelled";
+    case Counter::RunDeadlineHits: return "run_deadline_hits";
+    case Counter::RunBudgetHits: return "run_budget_hits";
     case Counter::kCount: break;
   }
   return "?";

@@ -49,6 +49,11 @@ enum class Counter : int {
   KernelDispatches,      ///< sketch calls routed through the micro-kernel ISA
                          ///< table; the chosen tier shows as a
                          ///< kernel_dispatch/<isa> span
+  RunDegradations,       ///< degradation-ladder steps taken under budget
+                         ///< pressure (support/run_control.hpp)
+  RunCancelled,          ///< runs stopped by cooperative cancellation
+  RunDeadlineHits,       ///< runs stopped by a wall-clock deadline
+  RunBudgetHits,         ///< runs stopped by workspace-budget exhaustion
   kCount
 };
 

@@ -155,6 +155,10 @@ Json ReportBuilder::build() const {
   counters["tuner_cache_misses"] = snap.get(Counter::TunerCacheMisses);
   counters["tuner_candidates_timed"] = snap.get(Counter::TunerCandidatesTimed);
   counters["kernel_dispatch"] = snap.get(Counter::KernelDispatches);
+  counters["run_degradations"] = snap.get(Counter::RunDegradations);
+  counters["run_cancelled"] = snap.get(Counter::RunCancelled);
+  counters["run_deadline_hits"] = snap.get(Counter::RunDeadlineHits);
+  counters["run_budget_hits"] = snap.get(Counter::RunBudgetHits);
   for (const auto& [k, v] : extra_counters_.members()) counters[k] = v;
   doc["counters"] = std::move(counters);
 

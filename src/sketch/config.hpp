@@ -11,6 +11,8 @@
 
 namespace rsketch {
 
+class RunControl;
+
 /// Compute-kernel variant (paper §II-B).
 enum class KernelVariant {
   Kji,  ///< Algorithm 3: CSC-driven, strided accesses, regenerates a column
@@ -38,9 +40,18 @@ enum class TuneMode {
               ///< keyed by (machine signature, matrix fingerprint)
 };
 
+/// What a budget-bounded sketch does when the configured workspace does not
+/// fit (docs/ROBUSTNESS.md "Run control").
+enum class OnPressure {
+  Fail,    ///< throw run_stopped_error(BudgetExceeded) at the first pressure
+  Degrade  ///< walk the degradation ladder toward a config that fits
+           ///< (bitwise-identical Â), throwing only when the ladder runs out
+};
+
 std::string to_string(KernelVariant k);
 std::string to_string(ParallelOver p);
 std::string to_string(TuneMode t);
+std::string to_string(OnPressure p);
 
 /// Full specification of a sketch Â = S·A.
 struct SketchConfig {
@@ -70,11 +81,29 @@ struct SketchConfig {
   /// every tier produces bitwise-identical Â, so this is a pure speed knob.
   microkernel::Isa isa = microkernel::Isa::Auto;
 
+  // --- Run control (support/run_control.hpp; docs/ROBUSTNESS.md) ---------
+  /// Wall-clock deadline in milliseconds for this call (0 = none; the
+  /// RSKETCH_DEADLINE_MS env knob back-stops a zero here). A run past its
+  /// deadline throws run_stopped_error(DeadlineExceeded) within one outer
+  /// block, leaving the output untouched.
+  double deadline_ms = 0.0;
+  /// Workspace byte budget for this call's scratch allocations beyond the
+  /// input and the output (0 = none; RSKETCH_BUDGET_MB back-stops). What
+  /// happens on pressure is `on_pressure`.
+  std::size_t workspace_budget_bytes = 0;
+  OnPressure on_pressure = OnPressure::Degrade;
+  /// Optional external handle for cooperative cancellation (and/or caller-
+  /// managed deadline and budget). Not owned; must outlive the call. With
+  /// this null and no deadline/budget set, the hot path pays one predictable
+  /// branch per outer block.
+  RunControl* control = nullptr;
+
   /// Throws invalid_argument_error when structurally invalid.
   void validate(index_t m, index_t n) const {
     require(d >= 0, "SketchConfig: d must be nonnegative");
     require(block_d >= 1, "SketchConfig: block_d must be >= 1");
     require(block_n >= 1, "SketchConfig: block_n must be >= 1");
+    require(deadline_ms >= 0.0, "SketchConfig: deadline_ms must be >= 0");
     (void)m;
     (void)n;
   }
@@ -97,6 +126,18 @@ struct SketchStats {
   /// 0 when sequential or uninstrumented). Populated only when RSKETCH_PERF
   /// or tracing is on — measuring it costs one timer pair per kernel call.
   double thread_imbalance = 0.0;
+
+  /// Degradation-ladder steps taken by this call under budget pressure
+  /// (0 = ran with the requested configuration). Each step is also visible
+  /// as a run_control/degrade perf span. See docs/ROBUSTNESS.md.
+  std::uint64_t degradations = 0;
+  /// Stops observed by this stats object's run-control scope. On a stopped
+  /// run the call throws instead of returning stats, so these are nonzero
+  /// only in aggregates assembled from the global perf counters
+  /// (run_cancelled / run_deadline_hits in BENCH_* reports); they are kept
+  /// here so SketchStats mirrors the full observability surface.
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_hits = 0;
 
   /// Software work/traffic counters, populated when the run is instrumented
   /// or RSKETCH_PERF is on (all-zero otherwise). See perf/counters.hpp.

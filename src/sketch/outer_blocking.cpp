@@ -15,6 +15,7 @@
 #include "support/aligned_buffer.hpp"
 #include "support/env.hpp"
 #include "support/parallel.hpp"
+#include "support/run_control.hpp"
 #include "support/timer.hpp"
 
 namespace rsketch {
@@ -130,11 +131,34 @@ SketchStats collect(std::vector<ThreadCtx<T>>& ctxs, const char* region,
   return stats;
 }
 
+/// Post-join handling of a fired stop latch: count the cause into the perf
+/// catalog, then surface it as run_stopped_error. OpenMP forbids throwing
+/// across the parallel region, so the loop bodies only *skip* once the latch
+/// fires and the throw happens here, on the joining thread.
+void check_join(const CooperativeStop& stop, const char* where) {
+  if (!stop.stopped()) return;
+  switch (stop.cause()) {
+    case StopCause::Cancelled:
+      perf::add(perf::Counter::RunCancelled, 1);
+      break;
+    case StopCause::DeadlineExceeded:
+      perf::add(perf::Counter::RunDeadlineHits, 1);
+      break;
+    case StopCause::BudgetExceeded:
+      perf::add(perf::Counter::RunBudgetHits, 1);
+      break;
+    case StopCause::None:
+      break;
+  }
+  stop.throw_if_stopped(where);
+}
+
 }  // namespace
 
 template <typename T>
 SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
-                               DenseMatrix<T>& a_hat, bool instrument) {
+                               DenseMatrix<T>& a_hat, bool instrument,
+                               const RunControl* run) {
   perf::Span span("sketch_blocked_kji");
   cfg.validate(a.rows(), a.cols());
   require(a_hat.rows() == cfg.d && a_hat.cols() == a.cols(),
@@ -156,6 +180,7 @@ SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
 
   const bool track_busy =
       nthreads > 1 && (perf::enabled() || perf::trace::armed());
+  CooperativeStop stop;
 
   Timer timer;
   if (cfg.parallel == ParallelOver::NBlocks) {
@@ -167,6 +192,7 @@ SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
       const index_t j0 = jb * bn;
       const index_t n1 = std::min(bn, n - j0);
       for (index_t ib = 0; ib < n_iblocks; ++ib) {
+        if (stop.should_skip(run)) break;
         const index_t i0 = ib * bd;
         const index_t d1 = std::min(bd, d - i0);
         BusyScope<T> busy(ctx, track_busy);
@@ -188,6 +214,7 @@ SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
         const index_t n1 = std::min(bn, n - j0);
 #pragma omp for schedule(static) nowait
         for (index_t ib = 0; ib < n_iblocks; ++ib) {
+          if (stop.should_skip(run)) continue;
           const index_t i0 = ib * bd;
           const index_t d1 = std::min(bd, d - i0);
           BusyScope<T> busy(ctx, track_busy);
@@ -198,12 +225,14 @@ SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
       }
     }
   }
+  check_join(stop, "sketch_blocked_kji");
   return collect(ctxs, "sketch_blocked_kji", timer.seconds(), d, a.nnz());
 }
 
 template <typename T>
 SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
-                               DenseMatrix<T>& a_hat, bool instrument) {
+                               DenseMatrix<T>& a_hat, bool instrument,
+                               const RunControl* run) {
   perf::Span span("sketch_blocked_jki");
   cfg.validate(ab.rows(), ab.cols());
   require(a_hat.rows() == cfg.d && a_hat.cols() == ab.cols(),
@@ -223,6 +252,7 @@ SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
 
   const bool track_busy =
       nthreads > 1 && (perf::enabled() || perf::trace::armed());
+  CooperativeStop stop;
 
   Timer timer;
   if (cfg.parallel == ParallelOver::NBlocks) {
@@ -232,6 +262,7 @@ SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
       trace_name_omp_thread();
       auto& ctx = ctxs[static_cast<std::size_t>(omp_get_thread_num())];
       for (index_t ib = 0; ib < n_iblocks; ++ib) {
+        if (stop.should_skip(run)) break;
         const index_t i0 = ib * bd;
         const index_t d1 = std::min(bd, d - i0);
         BusyScope<T> busy(ctx, track_busy);
@@ -247,6 +278,7 @@ SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
       auto& ctx = ctxs[static_cast<std::size_t>(omp_get_thread_num())];
       for (index_t jb = 0; jb < n_jblocks; ++jb) {
         auto body = [&](index_t ib) {
+          if (stop.should_skip(run)) return;
           const index_t i0 = ib * bd;
           const index_t d1 = std::min(bd, d - i0);
           BusyScope<T> busy(ctx, track_busy);
@@ -271,20 +303,25 @@ SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
       }
     }
   }
+  check_join(stop, "sketch_blocked_jki");
   return collect(ctxs, "sketch_blocked_jki", timer.seconds(), d, ab.nnz());
 }
 
 template SketchStats sketch_blocked_kji<float>(const SketchConfig&,
                                                const CscMatrix<float>&,
-                                               DenseMatrix<float>&, bool);
+                                               DenseMatrix<float>&, bool,
+                                               const RunControl*);
 template SketchStats sketch_blocked_kji<double>(const SketchConfig&,
                                                 const CscMatrix<double>&,
-                                                DenseMatrix<double>&, bool);
+                                                DenseMatrix<double>&, bool,
+                                                const RunControl*);
 template SketchStats sketch_blocked_jki<float>(const SketchConfig&,
                                                const BlockedCsr<float>&,
-                                               DenseMatrix<float>&, bool);
+                                               DenseMatrix<float>&, bool,
+                                               const RunControl*);
 template SketchStats sketch_blocked_jki<double>(const SketchConfig&,
                                                 const BlockedCsr<double>&,
-                                                DenseMatrix<double>&, bool);
+                                                DenseMatrix<double>&, bool,
+                                                const RunControl*);
 
 }  // namespace rsketch

@@ -1,13 +1,17 @@
 #include "sketch/sketch.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <cmath>
 
 #include "dense/blas1.hpp"
 #include "perf/perf.hpp"
+#include "support/aligned_buffer.hpp"
 #include "sketch/outer_blocking.hpp"
 #include "sketch/tuner.hpp"
 #include "sparse/validate.hpp"
+#include "support/run_control.hpp"
 #include "support/timer.hpp"
 
 namespace rsketch {
@@ -39,6 +43,14 @@ std::string to_string(TuneMode t) {
   return "?";
 }
 
+std::string to_string(OnPressure p) {
+  switch (p) {
+    case OnPressure::Fail: return "fail";
+    case OnPressure::Degrade: return "degrade";
+  }
+  return "?";
+}
+
 template <typename T>
 T sketch_post_scale(const SketchConfig& cfg) {
   double s = 1.0;
@@ -54,6 +66,36 @@ T sketch_post_scale(const SketchConfig& cfg) {
   return static_cast<T>(s);
 }
 
+/// Bytes of the blocked-CSR auxiliary structure for an m×n, nnz-nonzero
+/// matrix split into vertical blocks of width bn: values + column indices
+/// per nonzero, plus one (m+1)-long row-pointer array per block.
+std::size_t jki_convert_bytes(index_t rows, index_t cols, index_t block_n,
+                              index_t nnz, std::size_t elem_bytes) {
+  if (cols <= 0) return 0;
+  const index_t bn = std::min(block_n, std::max<index_t>(cols, 1));
+  const auto nblocks = static_cast<std::size_t>(ceil_div(cols, bn));
+  return static_cast<std::size_t>(nnz) * (elem_bytes + sizeof(index_t)) +
+         nblocks * (static_cast<std::size_t>(rows) + 1) * sizeof(index_t);
+}
+
+template <typename T>
+std::size_t sketch_workspace_estimate(const SketchConfig& cfg, index_t rows,
+                                      index_t cols, index_t nnz) {
+  const int nthreads =
+      cfg.parallel == ParallelOver::Sequential ? 1 : omp_get_max_threads();
+  // Per-thread regenerated-column scratch, sized exactly as ThreadCtx does
+  // (cfg.block_d unclamped) and rounded up as AlignedBuffer charges it.
+  std::size_t per_thread =
+      static_cast<std::size_t>(std::max<index_t>(cfg.block_d, 1)) * sizeof(T);
+  per_thread = (per_thread + kCacheLineBytes - 1) / kCacheLineBytes *
+               kCacheLineBytes;
+  std::size_t total = static_cast<std::size_t>(nthreads) * per_thread;
+  if (cfg.kernel == KernelVariant::Jki) {
+    total += jki_convert_bytes(rows, cols, cfg.block_n, nnz, sizeof(T));
+  }
+  return total;
+}
+
 namespace {
 
 template <typename T>
@@ -61,6 +103,103 @@ void apply_post_scale(const SketchConfig& cfg, DenseMatrix<T>& a_hat) {
   const T s = sketch_post_scale<T>(cfg);
   if (s == T{1}) return;
   for (index_t j = 0; j < a_hat.cols(); ++j) scal(a_hat.rows(), s, a_hat.col(j));
+}
+
+/// Kernel dispatch shared by the unarmed fast path and the staged
+/// run-controlled path. `out` must already be d × n.
+template <typename T>
+SketchStats sketch_dispatch(const SketchConfig& cfg, const CscMatrix<T>& a,
+                            DenseMatrix<T>& out, bool instrument,
+                            RunControl* run) {
+  if (cfg.kernel == KernelVariant::Kji) {
+    return sketch_blocked_kji(cfg, a, out, instrument, run);
+  }
+  Timer convert;
+  // The blocked-CSR structure is std::vector-backed, so the AlignedBuffer
+  // budget hook never sees it — reserve its size estimate explicitly for as
+  // long as it lives.
+  ScopedCharge conversion_charge(
+      run, run != nullptr && run->budget_armed()
+               ? jki_convert_bytes(a.rows(), a.cols(), cfg.block_n, a.nnz(),
+                                   sizeof(T))
+               : 0);
+  const BlockedCsr<T> ab = [&] {
+    perf::Span span("blocked_csr_convert");
+    return cfg.parallel == ParallelOver::Sequential
+               ? BlockedCsr<T>::from_csc(a, cfg.block_n)
+               : BlockedCsr<T>::from_csc_parallel(a, cfg.block_n);
+  }();
+  const double convert_seconds = convert.seconds();
+  SketchStats stats = sketch_blocked_jki(cfg, ab, out, instrument, run);
+  stats.convert_seconds = convert_seconds;
+  return stats;
+}
+
+/// Walk the degradation ladder until the workspace estimate fits the
+/// remaining budget, mutating `eff` in place. Every rung preserves Â
+/// bitwise: the kernels accumulate each output entry in ascending row order
+/// of A with (seed, b_d)-checkpointed columns of S, so thread count, b_n,
+/// and the kji/jki choice never change a bit; b_d does for the xoshiro
+/// backends (their sample streams are blocking-dependent by design), so the
+/// b_d rung is gated to Philox. Returns the number of steps taken; throws
+/// run_stopped_error(BudgetExceeded) under OnPressure::Fail or when the
+/// ladder runs out.
+template <typename T>
+std::uint64_t apply_budget_ladder(SketchConfig& eff, const CscMatrix<T>& a,
+                                  RunControl& run) {
+  if (!run.budget_armed()) return 0;
+  const auto estimate = [&] {
+    return sketch_workspace_estimate<T>(eff, a.rows(), a.cols(), a.nnz());
+  };
+  if (estimate() <= run.remaining_bytes()) return 0;
+  if (eff.on_pressure == OnPressure::Fail) {
+    perf::add(perf::Counter::RunBudgetHits, 1);
+    throw run_stopped_error(
+        StopCause::BudgetExceeded,
+        "sketch_into: workspace estimate of " + std::to_string(estimate()) +
+            " bytes exceeds the remaining budget of " +
+            std::to_string(run.remaining_bytes()) +
+            " bytes (on_pressure=fail)");
+  }
+  std::uint64_t steps = 0;
+  const auto step = [&](const char* rung) {
+    ++steps;
+    perf::add(perf::Counter::RunDegradations, 1);
+    perf::add_span("run_control/degrade", 0.0);
+    perf::add_span(std::string("run_control/degrade/") + rung, 0.0);
+  };
+  while (estimate() > run.remaining_bytes()) {
+    if (eff.parallel != ParallelOver::Sequential) {
+      // R1: drop the thread team — scratch shrinks by ~nthreads×.
+      eff.parallel = ParallelOver::Sequential;
+      step("sequential");
+    } else if (eff.kernel == KernelVariant::Jki &&
+               eff.block_n < std::max<index_t>(a.cols(), 1)) {
+      // R2: one vertical slab — fewest row-pointer arrays the conversion
+      // can carry.
+      eff.block_n = std::max<index_t>(a.cols(), 1);
+      step("widen_block_n");
+    } else if (eff.kernel == KernelVariant::Jki) {
+      // R3: Algorithm 3 needs no auxiliary structure at all.
+      eff.kernel = KernelVariant::Kji;
+      step("kernel_kji");
+    } else if (eff.backend == RngBackend::Philox && eff.block_d > 1) {
+      // R4 (Philox only — blocking-independent stream): shrink the
+      // regenerated-column scratch itself.
+      eff.block_d = (eff.block_d + 1) / 2;
+      step("halve_block_d");
+    } else {
+      perf::add(perf::Counter::RunBudgetHits, 1);
+      throw run_stopped_error(
+          StopCause::BudgetExceeded,
+          "sketch_into: degradation ladder exhausted after " +
+              std::to_string(steps) + " step(s); minimum workspace of " +
+              std::to_string(estimate()) +
+              " bytes still exceeds the remaining budget of " +
+              std::to_string(run.remaining_bytes()) + " bytes");
+    }
+  }
+  return steps;
 }
 
 }  // namespace
@@ -79,25 +218,39 @@ SketchStats sketch_into(const SketchConfig& cfg, const CscMatrix<T>& a,
     perf::Span span("validate_inputs");
     require_valid(a);
   }
-  if (a_hat.rows() != cfg.d || a_hat.cols() != a.cols()) {
-    a_hat.reset(cfg.d, a.cols());
+
+  ResolvedRunControl rrc(cfg.control, cfg.deadline_ms,
+                         cfg.workspace_budget_bytes);
+  RunControl* const run = rrc.get();
+  if (run == nullptr) {
+    // Unarmed fast path: identical to the uncontrolled library since the
+    // beginning — no staging copy, no polling, no charges.
+    if (a_hat.rows() != cfg.d || a_hat.cols() != a.cols()) {
+      a_hat.reset(cfg.d, a.cols());
+    }
+    SketchStats stats = sketch_dispatch(cfg, a, a_hat, instrument, nullptr);
+    apply_post_scale(cfg, a_hat);
+    return stats;
   }
+
+  run->poll();
+  SketchConfig eff = cfg;
+  const std::uint64_t degradations = apply_budget_ladder(eff, a, *run);
+
+  // Clean-throw staging: the output buffer is allocated before the budget
+  // scope installs (the budget bounds workspace, not the result) and is
+  // moved over a_hat only once the whole sketch succeeded, so a stopped run
+  // leaves a_hat exactly as the caller passed it.
+  DenseMatrix<T> staging(cfg.d, a.cols());
   SketchStats stats;
-  if (cfg.kernel == KernelVariant::Kji) {
-    stats = sketch_blocked_kji(cfg, a, a_hat, instrument);
-  } else {
-    Timer convert;
-    const BlockedCsr<T> ab = [&] {
-      perf::Span span("blocked_csr_convert");
-      return cfg.parallel == ParallelOver::Sequential
-                 ? BlockedCsr<T>::from_csc(a, cfg.block_n)
-                 : BlockedCsr<T>::from_csc_parallel(a, cfg.block_n);
-    }();
-    const double convert_seconds = convert.seconds();
-    stats = sketch_blocked_jki(cfg, ab, a_hat, instrument);
-    stats.convert_seconds = convert_seconds;
+  {
+    ScopedBudgetScope scope(run);
+    stats = sketch_dispatch(eff, a, staging, instrument, run);
   }
-  apply_post_scale(cfg, a_hat);
+  apply_post_scale(eff, staging);
+  run->poll();
+  a_hat = std::move(staging);
+  stats.degradations = degradations;
   return stats;
 }
 
@@ -117,11 +270,31 @@ SketchStats sketch_into_prepartitioned(const SketchConfig& cfg,
     perf::Span span("validate_inputs");
     require_valid(ab);
   }
-  if (a_hat.rows() != cfg.d || a_hat.cols() != ab.cols()) {
-    a_hat.reset(cfg.d, ab.cols());
+  ResolvedRunControl rrc(cfg.control, cfg.deadline_ms,
+                         cfg.workspace_budget_bytes);
+  RunControl* const run = rrc.get();
+  if (run == nullptr) {
+    if (a_hat.rows() != cfg.d || a_hat.cols() != ab.cols()) {
+      a_hat.reset(cfg.d, ab.cols());
+    }
+    SketchStats stats = sketch_blocked_jki(cfg, ab, a_hat, instrument);
+    apply_post_scale(cfg, a_hat);
+    return stats;
   }
-  SketchStats stats = sketch_blocked_jki(cfg, ab, a_hat, instrument);
-  apply_post_scale(cfg, a_hat);
+  // The caller already owns the partitioned structure, so there is nothing
+  // for the ladder to shed here — cancellation/deadline polling and the
+  // per-thread scratch budget still apply, with the same staged clean-throw
+  // as sketch_into().
+  run->poll();
+  DenseMatrix<T> staging(cfg.d, ab.cols());
+  SketchStats stats;
+  {
+    ScopedBudgetScope scope(run);
+    stats = sketch_blocked_jki(cfg, ab, staging, instrument, run);
+  }
+  apply_post_scale(cfg, staging);
+  run->poll();
+  a_hat = std::move(staging);
   return stats;
 }
 
@@ -150,6 +323,9 @@ DenseMatrix<T> materialize_S(const SketchConfig& cfg, index_t m) {
 
 #define RSKETCH_INSTANTIATE(T)                                               \
   template T sketch_post_scale<T>(const SketchConfig&);                      \
+  template std::size_t sketch_workspace_estimate<T>(const SketchConfig&,     \
+                                                    index_t, index_t,        \
+                                                    index_t);                \
   template SketchStats sketch_into<T>(const SketchConfig&,                   \
                                       const CscMatrix<T>&, DenseMatrix<T>&,  \
                                       bool);                                 \

@@ -38,6 +38,17 @@ SketchStats sketch_into_prepartitioned(const SketchConfig& cfg,
 template <typename T>
 T sketch_post_scale(const SketchConfig& cfg);
 
+/// Estimated workspace bytes sketch_into(cfg, a) allocates beyond the input
+/// and the output: the per-thread regenerated-column scratch (team size ×
+/// cfg.block_d, unclamped, as the kernels allocate it), plus the blocked-CSR
+/// conversion structure when cfg.kernel is Jki. This is what the budget
+/// degradation ladder compares against RunControl::remaining_bytes() and
+/// what the jki path pre-charges for the conversion (support/run_control.hpp;
+/// docs/ROBUSTNESS.md).
+template <typename T>
+std::size_t sketch_workspace_estimate(const SketchConfig& cfg, index_t rows,
+                                      index_t cols, index_t nnz);
+
 /// Materialize S explicitly as a d×m dense matrix, block-row by block-row
 /// with the same (seed, b_d) checkpoints the kernels use — so
 /// sketch(cfg, A) == materialize_S(cfg, m) * A exactly. Memory: d·m values;

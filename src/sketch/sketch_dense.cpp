@@ -6,16 +6,51 @@
 #include <vector>
 
 #include "dense/blas1.hpp"
+#include "perf/perf.hpp"
 #include "sketch/sketch.hpp"
+#include "sparse/validate.hpp"
 #include "support/aligned_buffer.hpp"
 #include "support/timer.hpp"
 
 namespace rsketch {
 
+namespace {
+
+/// check_inputs scan for the dense path: a NaN/Inf in X is reported through
+/// the same validation_error channel as the sparse validators, with a
+/// column-attributed report instead of a bare message.
+template <typename T>
+void require_finite_dense(const DenseMatrix<T>& x) {
+  ValidationReport report;
+  report.structure = "dense";
+  report.rows = x.rows();
+  report.cols = x.cols();
+  report.nnz = x.rows() * x.cols();
+  for (index_t j = 0; j < x.cols(); ++j) {
+    const index_t bad = count_non_finite(x.col(j), x.rows());
+    if (bad == 0) continue;
+    if (report.findings_total == 0) {
+      report.findings.push_back(
+          {ValidationIssue::NonFiniteValue, j,
+           "column " + std::to_string(j) + " contains " +
+               std::to_string(bad) + " non-finite value(s)"});
+    }
+    report.findings_total += bad;
+    report.non_finite_values += bad;
+  }
+  if (!report.ok()) throw validation_error(std::move(report));
+}
+
+}  // namespace
+
 template <typename T>
 SketchStats sketch_dense_into(const SketchConfig& cfg, const DenseMatrix<T>& x,
                               DenseMatrix<T>& y) {
   cfg.validate(x.rows(), x.cols());
+  if (cfg.check_inputs) {
+    perf::Span span("validate_inputs");
+    require_finite_dense(x);
+  }
   const index_t m = x.rows();
   const index_t k = x.cols();
   const index_t d = cfg.d;

@@ -5,7 +5,9 @@
 #include <algorithm>
 
 #include "dense/blas1.hpp"
+#include "perf/perf.hpp"
 #include "sketch/sketch.hpp"
+#include "sparse/validate.hpp"
 #include "support/aligned_buffer.hpp"
 #include "support/timer.hpp"
 
@@ -15,6 +17,10 @@ template <typename T>
 SketchStats sketch_right_into(const SketchConfig& cfg, const CscMatrix<T>& a,
                               std::vector<T>& b_rowmajor) {
   cfg.validate(a.rows(), a.cols());
+  if (cfg.check_inputs) {
+    perf::Span span("validate_inputs");
+    require_valid(a);
+  }
   const index_t m = a.rows();
   const index_t n = a.cols();
   const index_t d = cfg.d;

@@ -6,16 +6,59 @@
 #include "dense/blas1.hpp"
 #include "perf/perf.hpp"
 #include "sketch/sketch.hpp"
+#include "sparse/validate.hpp"
+#include "support/run_control.hpp"
 #include "support/timer.hpp"
 
 namespace rsketch {
+
+namespace {
+
+/// Per-row stop check: count the cause into the perf catalog and throw.
+void poll_counted(const RunControl* run) {
+  const StopCause c = run->stop_cause();
+  if (c == StopCause::None) return;
+  switch (c) {
+    case StopCause::Cancelled:
+      perf::add(perf::Counter::RunCancelled, 1);
+      break;
+    case StopCause::DeadlineExceeded:
+      perf::add(perf::Counter::RunDeadlineHits, 1);
+      break;
+    case StopCause::BudgetExceeded:
+      perf::add(perf::Counter::RunBudgetHits, 1);
+      break;
+    case StopCause::None:
+      break;
+  }
+  throw run_stopped_error(c, "streaming_sketch: run stopped between rows (" +
+                                 to_string(c) + ")");
+}
+
+}  // namespace
 
 template <typename T>
 SketchStats streaming_sketch(const SketchConfig& cfg, const CsrMatrix<T>& a,
                              DenseMatrix<T>& a_hat) {
   perf::Span span("streaming_sketch");
   cfg.validate(a.rows(), a.cols());
-  if (a_hat.rows() != cfg.d || a_hat.cols() != a.cols()) {
+  if (cfg.check_inputs) {
+    perf::Span vspan("validate_inputs");
+    require_valid(a);
+  }
+  ResolvedRunControl rrc(cfg.control, cfg.deadline_ms,
+                         cfg.workspace_budget_bytes);
+  RunControl* const run = rrc.get();
+
+  // Armed runs stage into a private buffer (clean-throw: a_hat is untouched
+  // if a bound fires mid-stream); the unarmed path writes in place as ever.
+  DenseMatrix<T> staging;
+  DenseMatrix<T>* out = &a_hat;
+  if (run != nullptr) {
+    run->poll();
+    staging.reset(cfg.d, a.cols());
+    out = &staging;
+  } else if (a_hat.rows() != cfg.d || a_hat.cols() != a.cols()) {
     a_hat.reset(cfg.d, a.cols());
   } else {
     a_hat.set_zero();
@@ -23,10 +66,18 @@ SketchStats streaming_sketch(const SketchConfig& cfg, const CsrMatrix<T>& a,
   const index_t d = cfg.d;
   const index_t bd = std::min(cfg.block_d, std::max<index_t>(d, 1));
   SketchSampler<T> sampler(cfg.seed, cfg.dist, cfg.backend);
+  // The d-long column scratch is std::vector-backed, so the AlignedBuffer
+  // budget hook never sees it — reserve it explicitly. This is the floor of
+  // the degradation ladder: if even this does not fit, the charge throws
+  // BudgetExceeded.
+  ScopedCharge scratch_charge(run, run != nullptr && run->budget_armed()
+                                       ? static_cast<std::size_t>(d) * sizeof(T)
+                                       : 0);
   std::vector<T> v(static_cast<std::size_t>(d));
 
   Timer timer;
   for (index_t j = 0; j < a.rows(); ++j) {
+    if (run != nullptr) poll_counted(run);
     const index_t lo = a.row_ptr()[static_cast<std::size_t>(j)];
     const index_t hi = a.row_ptr()[static_cast<std::size_t>(j) + 1];
     if (lo == hi) continue;
@@ -37,7 +88,7 @@ SketchStats streaming_sketch(const SketchConfig& cfg, const CsrMatrix<T>& a,
     }
     for (index_t p = lo; p < hi; ++p) {
       const index_t k = a.col_idx()[static_cast<std::size_t>(p)];
-      axpy(d, a.values()[static_cast<std::size_t>(p)], v.data(), a_hat.col(k));
+      axpy(d, a.values()[static_cast<std::size_t>(p)], v.data(), out->col(k));
     }
   }
 
@@ -74,9 +125,13 @@ SketchStats streaming_sketch(const SketchConfig& cfg, const CsrMatrix<T>& a,
 
   const T scale = sketch_post_scale<T>(cfg);
   if (scale != T{1}) {
-    for (index_t k = 0; k < a_hat.cols(); ++k) {
-      scal(a_hat.rows(), scale, a_hat.col(k));
+    for (index_t k = 0; k < out->cols(); ++k) {
+      scal(out->rows(), scale, out->col(k));
     }
+  }
+  if (run != nullptr) {
+    poll_counted(run);
+    a_hat = std::move(staging);
   }
   return stats;
 }

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <mutex>
 #include <sstream>
 #include <utility>
@@ -17,6 +18,7 @@
 #include "sketch/autotune.hpp"
 #include "sketch/sketch.hpp"
 #include "support/env.hpp"
+#include "support/run_control.hpp"
 #include "support/timer.hpp"
 
 namespace rsketch {
@@ -98,7 +100,9 @@ CscMatrix<T> pilot_slice(const CscMatrix<T>& a, index_t pilot_n) {
 
 /// Time every candidate on the pilot problem; returns the index of the
 /// fastest (first wins ties, so the order of tuner_candidates() is the
-/// tiebreak) and its best-of-reps seconds.
+/// tiebreak) and its best-of-reps seconds. Returns best_secs >= 1e300 when
+/// no candidate finished (the tuning sub-deadline fired before the first
+/// pilot completed) — the caller falls back to the model.
 template <typename T>
 std::pair<std::size_t, double> time_candidates(
     const SketchConfig& cfg, const CscMatrix<T>& pilot, index_t pilot_d,
@@ -110,6 +114,27 @@ std::pair<std::size_t, double> time_candidates(
   pcfg.tune = TuneMode::Off;
   pcfg.check_inputs = false;  // the slice is internal, already validated
   pcfg.d = pilot_d;
+  // Pilot runs inherit the caller's bounds through a chained child control
+  // carrying a sliced sub-deadline: tuning may spend at most a quarter of
+  // the wall-clock remaining on the outer deadline (floor 1 ms), so a tight
+  // deadline degrades to fewer timed candidates instead of eating the whole
+  // run before the real sketch starts. Deadline/budget fields are zeroed on
+  // pcfg so the pilot call does not re-arm them afresh from "now".
+  ResolvedRunControl outer(cfg.control, cfg.deadline_ms,
+                           cfg.workspace_budget_bytes);
+  RunControl* const parent = outer.get();
+  RunControl child;
+  pcfg.deadline_ms = 0.0;
+  pcfg.workspace_budget_bytes = 0;
+  pcfg.control = nullptr;
+  if (parent != nullptr) {
+    child.set_parent(parent);
+    const double remaining = parent->deadline_remaining_ms();
+    if (remaining != std::numeric_limits<double>::infinity()) {
+      child.set_deadline_ms(std::max(1.0, remaining * 0.25));
+    }
+    pcfg.control = &child;
+  }
   DenseMatrix<T> scratch(pilot_d, pilot.cols());
   std::size_t best = 0;
   double best_secs = 1e300;
@@ -124,17 +149,31 @@ std::pair<std::size_t, double> time_candidates(
             ? perf::trace::intern("tuner/candidate/" + cands[c].label())
             : 0);
     double secs = 1e300;
+    bool sub_deadline_hit = false;
     for (int rep = 0; rep < reps; ++rep) {
-      Timer t;
-      sketch_into(pcfg, pilot, scratch);
-      secs = std::min(secs, t.seconds());
+      try {
+        Timer t;
+        sketch_into(pcfg, pilot, scratch);
+        secs = std::min(secs, t.seconds());
+      } catch (const run_stopped_error&) {
+        // The caller's own bound fired: propagate, the whole run is over.
+        // Only the pilot slice expired: stop timing, keep the best so far.
+        if (parent != nullptr && parent->stop_cause() != StopCause::None) {
+          throw;
+        }
+        sub_deadline_hit = true;
+        break;
+      }
     }
-    perf::add(perf::Counter::TunerCandidatesTimed, 1);
-    perf::add_span("tuner/candidate", secs);
-    if (secs < best_secs) {
-      best = c;
-      best_secs = secs;
+    if (secs < 1e300) {
+      perf::add(perf::Counter::TunerCandidatesTimed, 1);
+      perf::add_span("tuner/candidate", secs);
+      if (secs < best_secs) {
+        best = c;
+        best_secs = secs;
+      }
     }
+    if (sub_deadline_hit) break;
   }
   return {best, best_secs};
 }
@@ -169,6 +208,13 @@ void resolve_empirical(const SketchConfig& cfg, const CscMatrix<T>& a,
     return;
   }
   const auto [best, best_secs] = time_candidates(cfg, pilot, pilot_d, cands);
+  if (best_secs >= 1e300) {
+    // The tuning sub-deadline fired before any candidate finished: the model
+    // still costs only a machine probe, and the caller's own deadline is
+    // re-checked the moment the real sketch dispatches.
+    resolve_model(cfg, a, eff, dec);
+    return;
+  }
   apply(eff, cands[best]);
   dec.choice = cands[best];
   dec.source = TuneSource::Empirical;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dense/blas1.hpp"
+#include "support/run_control.hpp"
 
 namespace rsketch {
 
@@ -63,6 +64,9 @@ LsqrResult<T> lsqr(const LinearOperator<T>& op, const T* b,
   int stall = 0;
 
   for (index_t it = 1; it <= max_iter; ++it) {
+    // One relaxed load (plus a clock read when a deadline is armed) per
+    // iteration — negligible next to the two operator applications.
+    if (options.control != nullptr) options.control->poll();
     // u := Op·v - alpha·u,  beta := ‖u‖
     op.apply(v.data(), tmp_m.data());
     for (index_t i = 0; i < m; ++i) {

@@ -11,6 +11,8 @@
 
 namespace rsketch {
 
+class RunControl;
+
 /// Matrix-free operator: y := Op·x and y := Opᵀ·x.
 template <typename T>
 struct LinearOperator {
@@ -25,6 +27,10 @@ struct LsqrOptions {
   /// the paper runs to 1e-14 for fair comparison with a direct method.
   double tol = 1e-14;
   index_t max_iter = 0;  ///< 0 → 4·cols
+  /// Polled once per iteration when non-null: a fired cancellation /
+  /// deadline / budget throws run_stopped_error out of lsqr(), leaving no
+  /// partial result behind (support/run_control.hpp). Not owned.
+  const RunControl* control = nullptr;
 };
 
 template <typename T>

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "support/common.hpp"
+#include "support/run_control.hpp"
 
 namespace rsketch {
 
@@ -52,13 +53,17 @@ class AlignedBuffer {
 
   AlignedBuffer(AlignedBuffer&& other) noexcept
       : data_(std::exchange(other.data_, nullptr)),
-        size_(std::exchange(other.size_, 0)) {}
+        size_(std::exchange(other.size_, 0)),
+        charged_to_(std::exchange(other.charged_to_, nullptr)),
+        charged_bytes_(std::exchange(other.charged_bytes_, 0)) {}
 
   AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
     if (this != &other) {
       release();
       data_ = std::exchange(other.data_, nullptr);
       size_ = std::exchange(other.size_, 0);
+      charged_to_ = std::exchange(other.charged_to_, nullptr);
+      charged_bytes_ = std::exchange(other.charged_bytes_, 0);
     }
     return *this;
   }
@@ -105,23 +110,41 @@ class AlignedBuffer {
     // std::aligned_alloc.
     std::size_t bytes = static_cast<std::size_t>(n) * sizeof(T);
     bytes = (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+    // Charge-before-allocate against the thread's budget scope (if any):
+    // the charge throws run_stopped_error(BudgetExceeded) before any memory
+    // is requested, so a bounded run never overshoots its budget and then
+    // apologizes. One thread-local load when no scope is installed.
+    RunControl* const budget = detail::budget_scope;
+    if (budget != nullptr) budget->charge(bytes);
     T* p = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
-    if (p == nullptr) throw std::bad_alloc();
+    if (p == nullptr) {
+      if (budget != nullptr) budget->uncharge(bytes);
+      throw std::bad_alloc();
+    }
     // Commit members only after the allocation succeeded, so a throw leaves
     // the buffer in its released (empty) state rather than size_ > 0 with a
     // null data_.
     data_ = p;
     size_ = n;
+    charged_to_ = budget;
+    charged_bytes_ = budget != nullptr ? bytes : 0;
   }
 
   void release() noexcept {
     std::free(data_);
+    if (charged_to_ != nullptr) charged_to_->uncharge(charged_bytes_);
     data_ = nullptr;
     size_ = 0;
+    charged_to_ = nullptr;
+    charged_bytes_ = 0;
   }
 
   T* data_ = nullptr;
   index_t size_ = 0;
+  /// Budget control this buffer's bytes are charged to (nullptr = none);
+  /// release() returns the charge, moves transfer it.
+  RunControl* charged_to_ = nullptr;
+  std::size_t charged_bytes_ = 0;
 };
 
 }  // namespace rsketch

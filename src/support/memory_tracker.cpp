@@ -2,34 +2,68 @@
 
 #include <algorithm>
 
+#include "support/run_control.hpp"
+
 namespace rsketch {
 
+MemoryTracker::~MemoryTracker() {
+  if (run_ != nullptr) run_->uncharge(current_);
+}
+
 void MemoryTracker::add(const std::string& label, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Charge the attached budget before the tracker commits: on exhaustion
+  // this throws and the tracker state is untouched.
+  if (run_ != nullptr) run_->charge(bytes);
   current_ += bytes;
   peak_ = std::max(peak_, current_);
   items_.emplace_back(label, bytes);
   live_.push_back(true);
+  live_by_label_[label].push_back(items_.size() - 1);
 }
 
 void MemoryTracker::release(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  release_locked(bytes);
+}
+
+void MemoryTracker::release_locked(std::size_t bytes) {
+  if (run_ != nullptr) run_->uncharge(bytes);
   current_ = bytes > current_ ? 0 : current_ - bytes;
 }
 
 void MemoryTracker::release(const std::string& label) {
-  for (std::size_t i = live_.size(); i-- > 0;) {
-    if (live_[i] && items_[i].first == label) {
-      live_[i] = false;
-      release(items_[i].second);
-      return;
-    }
-  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = live_by_label_.find(label);
+  if (it == live_by_label_.end() || it->second.empty()) return;
+  const std::size_t i = it->second.back();
+  it->second.pop_back();
+  live_[i] = false;
+  release_locked(items_[i].second);
+}
+
+void MemoryTracker::attach(RunControl* run) {
+  std::lock_guard<std::mutex> lock(mu_);
+  run_ = run;
+}
+
+std::size_t MemoryTracker::current_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::size_t MemoryTracker::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
 }
 
 void MemoryTracker::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   current_ = 0;
   peak_ = 0;
   items_.clear();
   live_.clear();
+  live_by_label_.clear();
 }
 
 }  // namespace rsketch

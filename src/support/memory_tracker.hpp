@@ -4,18 +4,38 @@
 // Solvers report the peak extra workspace they allocate beyond the input
 // matrix itself; we track that explicitly rather than hooking the allocator,
 // so the numbers are deterministic and allocator-independent.
+//
+// Thread-safe: a mutex serializes every mutation, so solvers may account
+// from inside OpenMP regions. The arithmetic is unchanged from the original
+// single-threaded tracker — Table XI numbers are bit-identical.
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace rsketch {
 
+class RunControl;
+
 /// Records named allocations and reports current / peak totals in bytes.
 class MemoryTracker {
  public:
-  /// Record an allocation of `bytes` under `label`.
+  MemoryTracker() = default;
+  /// Returns any outstanding charges to the attached RunControl, so a solve
+  /// unwinding on an exception does not leak reserved budget into a caller-
+  /// owned control that outlives it.
+  ~MemoryTracker();
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// Record an allocation of `bytes` under `label`. When a RunControl is
+  /// attached, the bytes are charged against its budget first
+  /// (charge-before-allocate) and the call throws
+  /// run_stopped_error(BudgetExceeded) on exhaustion — before current/peak
+  /// move, so the tracker never records an allocation the budget refused.
   void add(const std::string& label, std::size_t bytes);
 
   /// Record that `bytes` previously added were released.
@@ -24,13 +44,21 @@ class MemoryTracker {
   /// Release the most recent still-live allocation recorded under `label`
   /// (no-op when no live item with that label exists). Keeps call sites
   /// honest: the solver frees what it named, without re-stating the size.
+  /// O(1) via the per-label live index (was a reverse scan over all items).
   void release(const std::string& label);
 
-  std::size_t current_bytes() const { return current_; }
-  std::size_t peak_bytes() const { return peak_; }
-  double peak_mbytes() const { return static_cast<double>(peak_) / 1.0e6; }
+  /// Route subsequent add()/release() through `run`'s workspace budget
+  /// (nullptr detaches). The control must outlive the tracker's use.
+  void attach(RunControl* run);
 
-  /// Itemized (label, bytes) pairs in insertion order.
+  std::size_t current_bytes() const;
+  std::size_t peak_bytes() const;
+  double peak_mbytes() const {
+    return static_cast<double>(peak_bytes()) / 1.0e6;
+  }
+
+  /// Itemized (label, bytes) pairs in insertion order. Not synchronized
+  /// with concurrent mutation — read it after the workers joined.
   const std::vector<std::pair<std::string, std::size_t>>& items() const {
     return items_;
   }
@@ -38,10 +66,17 @@ class MemoryTracker {
   void clear();
 
  private:
+  void release_locked(std::size_t bytes);
+
+  mutable std::mutex mu_;
   std::size_t current_ = 0;
   std::size_t peak_ = 0;
   std::vector<std::pair<std::string, std::size_t>> items_;
   std::vector<bool> live_;  ///< parallel to items_: not yet released by label
+  /// Per-label stack of still-live item indices; the top is the most recent
+  /// live allocation with that label — exactly what release(label) pops.
+  std::unordered_map<std::string, std::vector<std::size_t>> live_by_label_;
+  RunControl* run_ = nullptr;
 };
 
 }  // namespace rsketch

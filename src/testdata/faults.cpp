@@ -8,6 +8,7 @@
 
 #include "rng/splitmix64.hpp"
 #include "support/aligned_buffer.hpp"
+#include "support/run_control.hpp"
 
 namespace rsketch {
 namespace faults {
@@ -247,6 +248,27 @@ void disarm_allocation_failure() {
 
 bool allocation_failure_armed() {
   return detail::alloc_fail_countdown.load(std::memory_order_relaxed) >= 0;
+}
+
+ScheduledFault::ScheduledFault() {
+  detail::fake_clock_ns.store(0, std::memory_order_relaxed);
+}
+
+ScheduledFault::~ScheduledFault() {
+  detail::fake_clock_ns.store(-1, std::memory_order_relaxed);
+  disarm_allocation_failure();
+}
+
+void ScheduledFault::advance_ms(double ms) {
+  require(ms >= 0.0, "ScheduledFault::advance_ms: time only moves forward");
+  detail::fake_clock_ns.fetch_add(static_cast<long long>(ms * 1e6),
+                                  std::memory_order_relaxed);
+}
+
+double ScheduledFault::elapsed_ms() const {
+  return static_cast<double>(
+             detail::fake_clock_ns.load(std::memory_order_relaxed)) /
+         1e6;
 }
 
 template CscMatrix<float> corrupt_csc<float>(const CscMatrix<float>&, CscFault,

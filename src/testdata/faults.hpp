@@ -94,6 +94,35 @@ class ScopedAllocationFailure {
   ScopedAllocationFailure& operator=(const ScopedAllocationFailure&) = delete;
 };
 
+/// RAII shim that puts the run-control layer on a deterministic schedule:
+/// construction freezes RunControl's clock at t = 0 (every deadline check
+/// reads the fake clock instead of the steady clock) and the test advances
+/// time explicitly. fail_allocation(k) arms the same AlignedBuffer hook as
+/// ScopedAllocationFailure. Destruction restores the real clock and disarms
+/// the hook, so a throwing test body cannot leak either into later tests.
+///
+/// Not for concurrent use from multiple test threads: the underlying clock
+/// and countdown are process-global.
+class ScheduledFault {
+ public:
+  ScheduledFault();
+  ~ScheduledFault();
+  ScheduledFault(const ScheduledFault&) = delete;
+  ScheduledFault& operator=(const ScheduledFault&) = delete;
+
+  /// Move the fake clock forward; deadlines armed before the call expire
+  /// once the cumulative advance passes them.
+  void advance_ms(double ms);
+  void advance_seconds(double s) { advance_ms(s * 1e3); }
+
+  /// Current fake time since construction, in milliseconds.
+  double elapsed_ms() const;
+
+  /// The k-th subsequent AlignedBuffer allocation (k >= 1) throws
+  /// std::bad_alloc, then the hook disarms itself.
+  void fail_allocation(long k) { arm_allocation_failure(k); }
+};
+
 extern template CscMatrix<float> corrupt_csc<float>(const CscMatrix<float>&,
                                                     CscFault, std::uint64_t);
 extern template CscMatrix<double> corrupt_csc<double>(const CscMatrix<double>&,

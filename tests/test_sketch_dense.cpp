@@ -2,11 +2,14 @@
 // virtual S, vector convenience API, parallel determinism.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "sketch/sketch.hpp"
 #include "sketch/sketch_dense.hpp"
 #include "sparse/generate.hpp"
+#include "sparse/validate.hpp"
 
 namespace rsketch {
 namespace {
@@ -115,6 +118,30 @@ TEST(SketchDense, NormPreservationWithNormalize) {
     for (index_t i = 0; i < 256; ++i) sk += y(i, c) * y(i, c);
     EXPECT_NEAR(std::sqrt(sk / orig), 1.0, 0.3);
   }
+}
+
+TEST(SketchDense, CheckInputsRejectsNonFiniteInput) {
+  DenseMatrix<double> x(30, 4);
+  for (index_t j = 0; j < x.cols(); ++j) {
+    for (index_t i = 0; i < x.rows(); ++i) x(i, j) = 1.0;
+  }
+  x(7, 2) = std::numeric_limits<double>::quiet_NaN();
+  SketchConfig cfg;
+  cfg.d = 8;
+  DenseMatrix<double> y;
+  // Off by default: the hot path never scans.
+  EXPECT_NO_THROW(sketch_dense_into(cfg, x, y));
+  cfg.check_inputs = true;
+  try {
+    sketch_dense_into(cfg, x, y);
+    FAIL() << "check_inputs must reject the NaN";
+  } catch (const validation_error& e) {
+    // The report attributes the finding to the offending column.
+    EXPECT_NE(std::string(e.what()).find("column 2"), std::string::npos)
+        << e.what();
+  }
+  x(7, 2) = 0.0;
+  EXPECT_NO_THROW(sketch_dense_into(cfg, x, y));
 }
 
 }  // namespace

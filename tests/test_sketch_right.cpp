@@ -7,6 +7,8 @@
 
 #include "sketch/sketch_right.hpp"
 #include "sparse/generate.hpp"
+#include "sparse/validate.hpp"
+#include "testdata/faults.hpp"
 
 namespace rsketch {
 namespace {
@@ -141,6 +143,21 @@ TEST(SketchRight, EmptyAndInvalidInputs) {
   const auto a = random_sparse<double>(5, 5, 0.5, 1);
   cfg.block_d = 0;
   EXPECT_THROW(sketch_right_into(cfg, a, b), invalid_argument_error);
+}
+
+TEST(SketchRight, CheckInputsRejectsCorruptInput) {
+  const auto clean = random_sparse<double>(60, 20, 0.2, 5);
+  // A value fault (not structural): safe to execute unvalidated, so the test
+  // can show the default path really skips the scan.
+  const auto bad = faults::corrupt_csc(clean, faults::CscFault::NanPayload, 1);
+  SketchConfig cfg;
+  cfg.d = 16;
+  std::vector<double> b;
+  // Off by default: the hot path never validates.
+  EXPECT_NO_THROW(sketch_right_into(cfg, bad, b));
+  cfg.check_inputs = true;
+  EXPECT_THROW(sketch_right_into(cfg, bad, b), validation_error);
+  EXPECT_NO_THROW(sketch_right_into(cfg, clean, b));
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 #include "sketch/streaming.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/generate.hpp"
+#include "sparse/validate.hpp"
+#include "testdata/faults.hpp"
 
 namespace rsketch {
 namespace {
@@ -85,6 +87,21 @@ TEST(Streaming, StatsReportTimeAndGflops) {
   const auto stats = streaming_sketch(cfg, csc_to_csr(a), out);
   EXPECT_GT(stats.total_seconds, 0.0);
   EXPECT_GT(stats.gflops, 0.0);
+}
+
+TEST(Streaming, CheckInputsRejectsNonFiniteInput) {
+  const auto clean = random_sparse<double>(60, 20, 0.2, 5);
+  const auto bad =
+      csc_to_csr(faults::corrupt_csc(clean, faults::CscFault::NanPayload, 1));
+  SketchConfig cfg;
+  cfg.d = 16;
+  DenseMatrix<double> out;
+  // Off by default: the hot path never scans.
+  EXPECT_NO_THROW(streaming_sketch(cfg, bad, out));
+  cfg.check_inputs = true;
+  EXPECT_THROW(streaming_sketch(cfg, bad, out), validation_error);
+  // Clean input sails through with the validators on.
+  EXPECT_NO_THROW(streaming_sketch(cfg, csc_to_csr(clean), out));
 }
 
 }  // namespace
