@@ -1,0 +1,208 @@
+// Batch-serving throughput benchmark: jobs/sec of the persistent worker
+// pool (sketch/batch.hpp) against the same jobs run back to back on one
+// thread.
+//
+// The workload is PINNED like perf_smoke: a fixed 64-job mix of small
+// sketches (48 kji jobs on one shape, 16 jki jobs on a second shape, fixed
+// seeds throughout), so every software counter in the emitted
+// BENCH_batch_throughput.json is an exact function of the workload and can
+// be gated against bench/baselines/batch_throughput_baseline.json. The one
+// exception is batch_steals — work stealing is scheduling-dependent by
+// nature — so the baseline deliberately omits it (the gate only checks keys
+// present in the baseline).
+//
+// Wall time and the derived jobs/sec numbers are advisory: the ≥1.5x
+// speedup target needs actual cores (the pool cannot beat sequential on a
+// single-CPU host), so a shortfall prints a warning instead of failing.
+//
+// Every batch output is compared bit for bit against its sequential
+// counterpart before any number is reported — a throughput win that changes
+// Â is a bug, not a result (exit 1).
+//
+// Knobs: RSKETCH_BATCH_WORKERS overrides the pool size (default 8, the
+// acceptance configuration); RSKETCH_PERF_OUT picks the report directory.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dense/dense_matrix.hpp"
+#include "perf/perf.hpp"
+#include "perf/report.hpp"
+#include "sketch/batch.hpp"
+#include "sketch/sketch.hpp"
+#include "sparse/generate.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+using namespace rsketch;
+
+namespace {
+
+constexpr int kJobs = 64;
+constexpr int kReps = 3;  // best-of; fixed so counters stay deterministic
+
+/// One pinned job description. The mix interleaves two shapes so workers
+/// see uneven job costs (the situation stealing exists for).
+struct JobSpec {
+  const CscMatrix<float>* a = nullptr;
+  index_t d = 0;
+  std::uint64_t seed = 0;
+  KernelVariant kernel = KernelVariant::Kji;
+};
+
+int env_workers() {
+  const char* s = std::getenv("RSKETCH_BATCH_WORKERS");
+  if (s == nullptr || *s == '\0') return 8;
+  const int v = std::atoi(s);
+  return v > 0 ? v : 8;
+}
+
+SketchConfig make_config(const JobSpec& job) {
+  SketchConfig cfg;
+  cfg.d = job.d;
+  cfg.seed = job.seed;
+  cfg.dist = Dist::PmOne;
+  cfg.backend = RngBackend::XoshiroBatch;
+  cfg.kernel = job.kernel;
+  cfg.block_d = 512;
+  cfg.block_n = 128;
+  // Pinned sequential per job on BOTH sides: that is what the batch runs
+  // for cache-resident jobs, and it makes the two sides bit-comparable by
+  // construction (parallel mode never changes Â's bits anyway).
+  cfg.parallel = ParallelOver::Sequential;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  perf::set_enabled(true);
+  perf::reset();
+
+  // Two pinned shapes, two matrices each (jobs alternate within a shape so
+  // the stream touches more than one input). Footprints stay ~100-200 KB —
+  // cache-resident on any host, so every job takes the whole-job-per-worker
+  // path and the counter baseline is machine-independent.
+  const auto a_small_0 = random_sparse<float>(2000, 160, 8e-3, 101);
+  const auto a_small_1 = random_sparse<float>(2000, 160, 8e-3, 102);
+  const auto a_mid_0 = random_sparse<float>(3000, 160, 1e-2, 201);
+  const auto a_mid_1 = random_sparse<float>(3000, 160, 1e-2, 202);
+
+  std::vector<JobSpec> jobs(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    JobSpec& job = jobs[i];
+    job.seed = 7000 + static_cast<std::uint64_t>(i);
+    if (i % 4 == 3) {  // 16 of 64: the heavier jki shape
+      job.a = (i / 4) % 2 == 0 ? &a_mid_0 : &a_mid_1;
+      job.d = 128;
+      job.kernel = KernelVariant::Jki;
+    } else {  // 48 of 64: the light kji shape
+      job.a = i % 2 == 0 ? &a_small_0 : &a_small_1;
+      job.d = 96;
+      job.kernel = KernelVariant::Kji;
+    }
+  }
+
+  const int workers = env_workers();
+  std::printf("batch_throughput: pinned %d-job mix (48 kji + 16 jki), "
+              "%d workers, best of %d\n\n", kJobs, workers, kReps);
+
+  // --- Sequential side: the same 64 jobs, one after another, one thread.
+  std::vector<DenseMatrix<float>> seq_out;
+  seq_out.reserve(kJobs);
+  for (const JobSpec& job : jobs) {
+    seq_out.emplace_back(job.d, job.a->cols());
+  }
+  double seq_best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Timer timer;
+    for (int i = 0; i < kJobs; ++i) {
+      sketch_into(make_config(jobs[i]), *jobs[i].a, seq_out[i]);
+    }
+    const double secs = timer.seconds();
+    if (rep == 0 || secs < seq_best) seq_best = secs;
+  }
+
+  // --- Batch side: one persistent pool serving all reps, so later reps see
+  // a warm arena (slab reuse) exactly like a long-lived server would.
+  std::vector<DenseMatrix<float>> batch_out;
+  batch_out.reserve(kJobs);
+  for (const JobSpec& job : jobs) {
+    batch_out.emplace_back(job.d, job.a->cols());
+  }
+  BatchOptions options;
+  options.workers = workers;
+  SketchBatch batch(options);
+  double batch_best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Timer timer;
+    for (int i = 0; i < kJobs; ++i) {
+      batch.submit(make_config(jobs[i]), *jobs[i].a, batch_out[i]);
+    }
+    if (batch.wait_all() != 0) {
+      std::fprintf(stderr, "batch_throughput: a batch job failed\n");
+      return 1;
+    }
+    const double secs = timer.seconds();
+    if (rep == 0 || secs < batch_best) batch_best = secs;
+  }
+
+  // --- Bitwise check before reporting anything.
+  for (int i = 0; i < kJobs; ++i) {
+    const std::size_t bytes = static_cast<std::size_t>(seq_out[i].rows()) *
+                              static_cast<std::size_t>(seq_out[i].cols()) *
+                              sizeof(float);
+    if (std::memcmp(seq_out[i].data(), batch_out[i].data(), bytes) != 0) {
+      std::fprintf(stderr,
+                   "batch_throughput: job %d output differs from the "
+                   "sequential reference\n", i);
+      return 1;
+    }
+  }
+
+  const double seq_jps = kJobs / seq_best;
+  const double batch_jps = kJobs / batch_best;
+  const double speedup = seq_best / batch_best;
+
+  Table t("batch throughput (bitwise-verified, advisory wall time):");
+  t.set_header({"side", "seconds", "jobs/s"});
+  t.add_row({"sequential", fmt_fixed(seq_best, 4), fmt_fixed(seq_jps, 1)});
+  t.add_row({"batch", fmt_fixed(batch_best, 4), fmt_fixed(batch_jps, 1)});
+  std::printf("%s\n", t.render().c_str());
+  std::printf("speedup %.2fx with %d workers; steals %llu; arena reuse "
+              "%llu/%llu, held %.1f MB\n",
+              speedup, batch.workers(),
+              static_cast<unsigned long long>(batch.steals()),
+              static_cast<unsigned long long>(batch.arena().reuse_hits()),
+              static_cast<unsigned long long>(batch.arena().slab_allocs() +
+                                              batch.arena().reuse_hits()),
+              batch.arena().held_bytes() / (1024.0 * 1024.0));
+  if (speedup < 1.5) {
+    std::printf("warning: batch speedup %.2fx below the 1.5x target "
+                "(advisory: needs >= 2 real cores; this host may have "
+                "fewer)\n", speedup);
+  }
+
+  perf::ReportBuilder report("batch_throughput");
+  report.config("jobs", static_cast<long long>(kJobs));
+  report.config("reps", static_cast<long long>(kReps));
+  report.config("workers", static_cast<long long>(workers));
+  report.config("mix", "48x kji 2000x160 d=96 + 16x jki 3000x160 d=128");
+  report.config("pinned", "true");
+  report.timing("sequential/64_jobs", seq_best);
+  report.timing("batch/64_jobs", batch_best);
+  report.derived("sequential_jobs_per_second", seq_jps);
+  report.derived("batch_jobs_per_second", batch_jps);
+  report.derived("batch_speedup_vs_sequential", speedup);
+  report.derived("arena_reuse_hits", static_cast<double>(
+      batch.arena().reuse_hits()));
+  const std::string path = report.write();
+  if (path.empty()) {
+    std::fprintf(stderr, "batch_throughput: failed to write report\n");
+    return 1;
+  }
+  return 0;
+}

@@ -12,13 +12,18 @@
 // precondition violation. --no-check restores the library's raw hot path.
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "dense/microkernel.hpp"
 #include "perf/perf_events.hpp"
 #include "perf/report.hpp"
 #include "perf/trace.hpp"
 #include "sketch/autotune.hpp"
+#include "sketch/batch.hpp"
 #include "sketch/sketch.hpp"
 #include "sketch/tuner.hpp"
 #include "solvers/guarded.hpp"
@@ -31,6 +36,7 @@
 #include "sparse/validate.hpp"
 #include "support/cli.hpp"
 #include "support/run_control.hpp"
+#include "support/timer.hpp"
 
 using namespace rsketch;
 
@@ -46,6 +52,11 @@ int usage(const char* prog) {
                "  %s solve  --in A.mtx [--rhs b.txt] [--svd] [--gamma G] "
                "[--guarded] [--attempts N]\n"
                "  %s info   --in A.mtx\n"
+               "  %s batch  --manifest JOBS.txt [--workers N] [--gamma G] "
+               "[--dist ...] [--kernel ...]\n"
+               "            (or: --batch JOBS.txt; manifest lines are "
+               "\"<matrix.mtx> <seed> <out.mtx>\", # comments ok;\n"
+               "             docs/SERVING.md has the full format)\n"
                "common flags: --no-check disables the input validators "
                "(structure + NaN/Inf scan), on by default;\n"
                "  --tune selects block/kernel/backend autotuning "
@@ -59,8 +70,10 @@ int usage(const char* prog) {
                "  --block-d D / --block-n N pin the outer blocks "
                "(bypasses autotuning; for scripted, reproducible runs)\n"
                "exit codes: 0 ok, 1 I/O or internal error, 2 usage or input "
-               "validation, 3 numeric failure, 4 deadline, 5 budget\n",
-               prog, prog, prog);
+               "validation, 3 numeric failure, 4 deadline, 5 budget,\n"
+               "  6 batch partial failure (some jobs failed; per-job status "
+               "on stdout/stderr)\n",
+               prog, prog, prog, prog);
   return 2;
 }
 
@@ -302,14 +315,180 @@ int cmd_solve(const CliArgs& args, CscMatrix<double> a) {
   return 0;
 }
 
+/// Emit a dense sketch in coordinate Matrix Market form (interoperability —
+/// same encoding cmd_sketch has always used).
+void write_dense_mtx(const std::string& path, const DenseMatrix<double>& m) {
+  CooMatrix<double> coo(m.rows(), m.cols());
+  coo.reserve(m.rows() * m.cols());
+  for (index_t j = 0; j < m.cols(); ++j) {
+    for (index_t i = 0; i < m.rows(); ++i) {
+      if (m(i, j) != 0.0) coo.push(i, j, m(i, j));
+    }
+  }
+  write_matrix_market_file(path, coo_to_csc(coo));
+}
+
+struct ManifestJob {
+  std::string matrix_path;
+  std::uint64_t seed = 0;
+  std::string out_path;
+  int line = 0;
+};
+
+/// One job per line: "<matrix.mtx> <seed> <out.mtx>". Blank lines and
+/// #-comments are skipped; anything else malformed is a usage error.
+std::vector<ManifestJob> read_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw io_error("cannot open manifest '" + path + "'");
+  std::vector<ManifestJob> jobs;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::istringstream ss(line);
+    std::string matrix;
+    if (!(ss >> matrix) || matrix[0] == '#') continue;
+    long long seed = 0;
+    std::string out;
+    if (!(ss >> seed >> out) || seed < 0) {
+      throw invalid_argument_error(
+          "manifest line " + std::to_string(lineno) +
+          ": want \"<matrix.mtx> <seed> <out.mtx>\" (got '" + line + "')");
+    }
+    jobs.push_back(
+        {matrix, static_cast<std::uint64_t>(seed), out, lineno});
+  }
+  if (jobs.empty()) {
+    throw invalid_argument_error("manifest '" + path + "' lists no jobs");
+  }
+  return jobs;
+}
+
+int cmd_batch(const CliArgs& args) {
+  std::string manifest_path = args.get("manifest", "");
+  if (manifest_path.empty()) manifest_path = args.get("batch", "");
+  if (manifest_path.empty()) {
+    std::fprintf(stderr, "batch: --manifest FILE (or --batch FILE) is required\n");
+    return 2;
+  }
+  const std::vector<ManifestJob> manifest = read_manifest(manifest_path);
+
+  BatchOptions bopt;
+  bopt.workers = static_cast<int>(args.get_int("workers", 0));
+  bopt.deadline_ms = args.get_double("deadline-ms", 0.0);
+  bopt.workspace_budget_bytes =
+      static_cast<std::size_t>(args.get_double("budget-mb", 0.0) * 1e6);
+
+  // Load every distinct matrix ONCE: manifests typically sketch one input
+  // under many seeds, and sharing the parsed CSC across jobs is part of the
+  // batch amortization story. unique_ptr keeps addresses stable while jobs
+  // borrow them.
+  std::map<std::string, std::unique_ptr<CscMatrix<double>>> matrices;
+  for (const ManifestJob& job : manifest) {
+    if (matrices.find(job.matrix_path) == matrices.end()) {
+      matrices.emplace(job.matrix_path,
+                       std::make_unique<CscMatrix<double>>(
+                           read_matrix_market_file<double>(job.matrix_path)));
+    }
+  }
+
+  const std::string tune = args.get("tune", "");
+  SketchBatch batch(bopt);
+  Timer wall;  // submit -> wait_all: the number a serving operator watches
+  std::vector<DenseMatrix<double>> outs(manifest.size());  // sized up front:
+  std::vector<JobHandle> handles;  // jobs hold pointers into `outs`
+  handles.reserve(manifest.size());
+  for (std::size_t i = 0; i < manifest.size(); ++i) {
+    const CscMatrix<double>& a = *matrices.at(manifest[i].matrix_path);
+    SketchConfig cfg;
+    cfg.d = static_cast<index_t>(args.get_double("gamma", 3.0) *
+                                 static_cast<double>(a.cols()));
+    cfg.seed = manifest[i].seed;
+    cfg.dist = parse_dist(args.get("dist", "pm1"));
+    cfg.kernel = args.get("kernel", "kji") == "jki" ? KernelVariant::Jki
+                                                    : KernelVariant::Kji;
+    cfg.normalize = true;
+    cfg.check_inputs = !args.has("no-check");
+    cfg.on_pressure = parse_on_pressure(args.get("on-pressure", "degrade"));
+    const std::string isa = args.get("isa", "auto");
+    require(microkernel::parse_isa(isa, &cfg.isa),
+            "unknown --isa '" + isa + "' (want auto|scalar|avx2|avx512)");
+    if (!tune.empty()) {
+      // Resolved through the batch's shared memo: one fingerprint pass (and
+      // at most one pilot run) per distinct problem shape, not per job.
+      cfg.tune = parse_tune_mode(tune);
+    } else {
+      autotune_blocks(cfg, a);
+    }
+    handles.push_back(batch.submit(cfg, a, outs[i]));
+  }
+
+  std::size_t failed = batch.wait_all();
+  const double batch_seconds = wall.seconds();
+  for (std::size_t i = 0; i < manifest.size(); ++i) {
+    const ManifestJob& m = manifest[i];
+    if (handles[i].failed()) {
+      try {
+        std::rethrow_exception(handles[i].error());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "job %zu (line %d, %s seed=%llu): FAILED: %s\n",
+                     i, m.line, m.matrix_path.c_str(),
+                     static_cast<unsigned long long>(m.seed), e.what());
+      }
+      continue;
+    }
+    try {
+      write_dense_mtx(m.out_path, outs[i]);
+      std::printf("job %zu: %s seed=%llu -> %s (%.3f s)\n", i,
+                  m.matrix_path.c_str(),
+                  static_cast<unsigned long long>(m.seed), m.out_path.c_str(),
+                  handles[i].stats().total_seconds);
+    } catch (const std::exception& e) {
+      // An unwritable output is THIS job's failure, not the batch's: the
+      // remaining jobs' results still land, and the exit code says partial.
+      ++failed;
+      std::fprintf(stderr, "job %zu (line %d): cannot write %s: %s\n", i,
+                   m.line, m.out_path.c_str(), e.what());
+    }
+  }
+
+  const WorkspaceArena& arena = batch.arena();
+  std::printf("batch: %zu job(s), %zu ok, %zu failed, workers=%d, "
+              "steals=%llu, arena reuse %llu/%llu, arena held %.2f MB\n",
+              manifest.size(), manifest.size() - failed, failed,
+              batch.workers(),
+              static_cast<unsigned long long>(batch.steals()),
+              static_cast<unsigned long long>(arena.reuse_hits()),
+              static_cast<unsigned long long>(arena.reuse_hits() +
+                                              arena.slab_allocs()),
+              static_cast<double>(arena.held_bytes()) / 1e6);
+
+  perf::ReportBuilder report("sketch_tool_batch");
+  if (report.active()) {
+    report.config("manifest", manifest_path);
+    report.config("workers", static_cast<long long>(batch.workers()));
+    report.timing("batch/wall", batch_seconds);
+    report.counter("jobs", static_cast<std::uint64_t>(manifest.size()));
+    report.counter("jobs_failed", static_cast<std::uint64_t>(failed));
+    report.counter("steals", batch.steals());
+    report.counter("arena_reuse_hits", arena.reuse_hits());
+    report.write();
+  }
+  return failed == 0 ? 0 : 6;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  if (args.positional().empty()) return usage(argv[0]);
-  const std::string cmd = args.positional()[0];
+  // `--batch MANIFEST` with no positional command is shorthand for the
+  // batch subcommand (the manifest replaces --in).
+  if (args.positional().empty() && !args.has("batch")) return usage(argv[0]);
+  const std::string cmd =
+      args.positional().empty() ? "batch" : args.positional()[0];
   const std::string in_path = args.get("in", "");
-  if (in_path.empty()) return usage(argv[0]);
+  if (cmd != "batch" && in_path.empty()) return usage(argv[0]);
 
   // --trace PATH mirrors RSKETCH_TRACE=PATH; the at-exit exporter writes the
   // timeline after main returns, so every command is covered.
@@ -325,12 +504,18 @@ int main(int argc, char** argv) {
   // attempt log is embedded in the exception messages, so printing what()
   // surfaces the full retry history on failure.
   try {
+    if (cmd == "batch") return cmd_batch(args);
     CscMatrix<double> a = read_matrix_market_file<double>(in_path);
     if (cmd == "info") return cmd_info(args, a);
     if (cmd == "sketch") return cmd_sketch(args, a);
     if (cmd == "solve") return cmd_solve(args, std::move(a));
     return usage(argv[0]);
   } catch (const validation_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const invalid_argument_error& e) {
+    // Bad flag values and malformed manifests are usage errors (exit 2, as
+    // the usage text has always documented), not internal failures.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   } catch (const run_stopped_error& e) {

@@ -197,6 +197,8 @@ const char* counter_name(Counter c) {
     case Counter::RunCancelled: return "run_cancelled";
     case Counter::RunDeadlineHits: return "run_deadline_hits";
     case Counter::RunBudgetHits: return "run_budget_hits";
+    case Counter::BatchJobs: return "batch_jobs";
+    case Counter::BatchSteals: return "batch_steals";
     case Counter::kCount: break;
   }
   return "?";

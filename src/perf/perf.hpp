@@ -54,6 +54,10 @@ enum class Counter : int {
   RunCancelled,          ///< runs stopped by cooperative cancellation
   RunDeadlineHits,       ///< runs stopped by a wall-clock deadline
   RunBudgetHits,         ///< runs stopped by workspace-budget exhaustion
+  BatchJobs,             ///< sketch jobs executed by a SketchBatch
+                         ///< (sketch/batch.hpp)
+  BatchSteals,           ///< executor tasks stolen from another worker's
+                         ///< queue (support/executor.hpp)
   kCount
 };
 

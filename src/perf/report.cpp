@@ -159,6 +159,8 @@ Json ReportBuilder::build() const {
   counters["run_cancelled"] = snap.get(Counter::RunCancelled);
   counters["run_deadline_hits"] = snap.get(Counter::RunDeadlineHits);
   counters["run_budget_hits"] = snap.get(Counter::RunBudgetHits);
+  counters["batch_jobs"] = snap.get(Counter::BatchJobs);
+  counters["batch_steals"] = snap.get(Counter::BatchSteals);
   for (const auto& [k, v] : extra_counters_.members()) counters[k] = v;
   doc["counters"] = std::move(counters);
 

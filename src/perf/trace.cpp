@@ -152,6 +152,32 @@ struct Registry {
   }
 };
 
+/// Merge a live ring into the retired list (registry lock held) and reset
+/// it. One RetiredTrace per tid: repeated retirements of the same thread —
+/// a pool worker parking between batches, then finally exiting — append to
+/// the same record instead of multiplying thread entries in the export.
+void merge_retired_locked(Registry& reg, ThreadTrace& rec) {
+  if (rec.written == 0 && rec.thread_name.empty()) return;
+  RetiredTrace* dst = nullptr;
+  for (RetiredTrace& rt : reg.retired) {
+    if (rt.tid == rec.tid) {
+      dst = &rt;
+      break;
+    }
+  }
+  if (dst == nullptr) {
+    if (rec.written == 0 && rec.thread_name.empty()) return;
+    reg.retired.emplace_back();
+    dst = &reg.retired.back();
+    dst->tid = rec.tid;
+  }
+  rec.collect(dst->events);
+  dst->written += rec.written;
+  dst->dropped += rec.dropped();
+  if (!rec.thread_name.empty()) dst->thread_name = rec.thread_name;
+  rec.written = 0;
+}
+
 struct ThreadTraceHolder {
   ThreadTrace rec;
 
@@ -166,15 +192,7 @@ struct ThreadTraceHolder {
   ~ThreadTraceHolder() {
     Registry& reg = Registry::instance();
     std::lock_guard<std::mutex> lock(reg.mu);
-    RetiredTrace rt;
-    rec.collect(rt.events);
-    rt.written = rec.written;
-    rt.dropped = rec.dropped();
-    rt.tid = rec.tid;
-    rt.thread_name = std::move(rec.thread_name);
-    if (rt.written > 0 || !rt.thread_name.empty()) {
-      reg.retired.push_back(std::move(rt));
-    }
+    merge_retired_locked(reg, rec);
     reg.live.erase(std::remove(reg.live.begin(), reg.live.end(), &rec),
                    reg.live.end());
   }
@@ -315,6 +333,23 @@ void set_thread_name(const std::string& name) {
   local_trace().thread_name = name;
 }
 
+void set_thread_name_if_unset(const std::string& name) {
+  if (!armed()) return;
+  ThreadTrace& rec = local_trace();
+  if (rec.thread_name.empty()) rec.thread_name = name;
+}
+
+void retire_current_thread() {
+  if (!armed()) return;
+  ThreadTrace& rec = local_trace();
+  if (rec.written == 0) return;
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  // Keep the live record's name: the ring resets, the label must not. The
+  // merge copies (not moves) thread_name, so both records stay labelled.
+  merge_retired_locked(reg, rec);
+}
+
 std::uint64_t dropped_events() {
   Registry& reg = Registry::instance();
   std::lock_guard<std::mutex> lock(reg.mu);
@@ -346,6 +381,19 @@ Json chrome_trace_json() {
     Registry& reg = Registry::instance();
     std::lock_guard<std::mutex> lock(reg.mu);
     for (const ThreadTrace* tt : reg.live) {
+      if (tt->written == 0) {
+        // A parked pool worker already flushed everything (events AND name)
+        // into its retired record; emitting the empty live ring too would
+        // double-count the thread.
+        bool retired_has_tid = false;
+        for (const RetiredTrace& rt : reg.retired) {
+          if (rt.tid == tt->tid) {
+            retired_has_tid = true;
+            break;
+          }
+        }
+        if (retired_has_tid) continue;
+      }
       ThreadDump d;
       tt->collect(d.events);
       d.dropped = tt->dropped();

@@ -92,6 +92,20 @@ void counter(std::uint32_t name_id, double value);
 /// last call wins. No-op when tracing is not armed.
 void set_thread_name(const std::string& name);
 
+/// Like set_thread_name, but keeps an existing label. OMP regions use this:
+/// an executor pool worker running a kernel sequentially must stay
+/// "pool-worker-N" in the timeline, not be relabelled "omp-worker-0".
+void set_thread_name_if_unset(const std::string& name);
+
+/// Flush this thread's ring into the retired list and reset it, keeping the
+/// thread_name so later events on the same thread stay labelled. Pool
+/// workers call this before parking: a drained executor then holds no
+/// buffered events hostage in live rings, and repeated park/unpark cycles
+/// merge into ONE retired record per thread id (no duplicate thread_name
+/// metadata, no per-cycle allocation of interned names). No-op when tracing
+/// is not armed or the thread recorded nothing since the last flush.
+void retire_current_thread();
+
 /// Events overwritten by ring wraparound, summed over all threads.
 std::uint64_t dropped_events();
 

@@ -12,6 +12,7 @@
 namespace rsketch {
 
 class RunControl;
+class ArenaHook;
 
 /// Compute-kernel variant (paper §II-B).
 enum class KernelVariant {
@@ -97,6 +98,12 @@ struct SketchConfig {
   /// this null and no deadline/budget set, the hot path pays one predictable
   /// branch per outer block.
   RunControl* control = nullptr;
+  /// Optional workspace arena (support/arena.hpp) serving the kernels'
+  /// scratch allocations — SketchBatch installs its shared recycling arena
+  /// here so a stream of jobs reuses slabs instead of paying
+  /// aligned_alloc/free per job. Not owned; must outlive the call. The
+  /// staged OUTPUT is never arena-backed (it escapes to the caller).
+  ArenaHook* arena = nullptr;
 
   /// Throws invalid_argument_error when structurally invalid.
   void validate(index_t m, index_t n) const {

@@ -8,6 +8,7 @@
 #include "dense/blas1.hpp"
 #include "perf/perf.hpp"
 #include "support/aligned_buffer.hpp"
+#include "support/arena.hpp"
 #include "sketch/outer_blocking.hpp"
 #include "sketch/tuner.hpp"
 #include "sparse/validate.hpp"
@@ -228,7 +229,15 @@ SketchStats sketch_into(const SketchConfig& cfg, const CscMatrix<T>& a,
     if (a_hat.rows() != cfg.d || a_hat.cols() != a.cols()) {
       a_hat.reset(cfg.d, a.cols());
     }
-    SketchStats stats = sketch_dispatch(cfg, a, a_hat, instrument, nullptr);
+    SketchStats stats;
+    {
+      // Arena scope covers ONLY the kernel dispatch: the output was sized
+      // above, outside it, because it escapes to the caller and must not be
+      // arena-backed. The scope is thread-local, so OMP workers spawned
+      // inside still allocate off the plain heap.
+      ScopedArenaScope arena(cfg.arena);
+      stats = sketch_dispatch(cfg, a, a_hat, instrument, nullptr);
+    }
     apply_post_scale(cfg, a_hat);
     return stats;
   }
@@ -240,11 +249,13 @@ SketchStats sketch_into(const SketchConfig& cfg, const CscMatrix<T>& a,
   // Clean-throw staging: the output buffer is allocated before the budget
   // scope installs (the budget bounds workspace, not the result) and is
   // moved over a_hat only once the whole sketch succeeded, so a stopped run
-  // leaves a_hat exactly as the caller passed it.
+  // leaves a_hat exactly as the caller passed it. It is likewise allocated
+  // before the arena scope — it outlives any batch arena.
   DenseMatrix<T> staging(cfg.d, a.cols());
   SketchStats stats;
   {
     ScopedBudgetScope scope(run);
+    ScopedArenaScope arena(cfg.arena);
     stats = sketch_dispatch(eff, a, staging, instrument, run);
   }
   apply_post_scale(eff, staging);
@@ -277,7 +288,11 @@ SketchStats sketch_into_prepartitioned(const SketchConfig& cfg,
     if (a_hat.rows() != cfg.d || a_hat.cols() != ab.cols()) {
       a_hat.reset(cfg.d, ab.cols());
     }
-    SketchStats stats = sketch_blocked_jki(cfg, ab, a_hat, instrument);
+    SketchStats stats;
+    {
+      ScopedArenaScope arena(cfg.arena);
+      stats = sketch_blocked_jki(cfg, ab, a_hat, instrument);
+    }
     apply_post_scale(cfg, a_hat);
     return stats;
   }
@@ -290,6 +305,7 @@ SketchStats sketch_into_prepartitioned(const SketchConfig& cfg,
   SketchStats stats;
   {
     ScopedBudgetScope scope(run);
+    ScopedArenaScope arena(cfg.arena);
     stats = sketch_blocked_jki(cfg, ab, staging, instrument, run);
   }
   apply_post_scale(cfg, staging);

@@ -12,6 +12,7 @@
 #include <new>
 #include <utility>
 
+#include "support/arena.hpp"
 #include "support/common.hpp"
 #include "support/run_control.hpp"
 
@@ -55,7 +56,8 @@ class AlignedBuffer {
       : data_(std::exchange(other.data_, nullptr)),
         size_(std::exchange(other.size_, 0)),
         charged_to_(std::exchange(other.charged_to_, nullptr)),
-        charged_bytes_(std::exchange(other.charged_bytes_, 0)) {}
+        charged_bytes_(std::exchange(other.charged_bytes_, 0)),
+        arena_(std::exchange(other.arena_, nullptr)) {}
 
   AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
     if (this != &other) {
@@ -64,6 +66,7 @@ class AlignedBuffer {
       size_ = std::exchange(other.size_, 0);
       charged_to_ = std::exchange(other.charged_to_, nullptr);
       charged_bytes_ = std::exchange(other.charged_bytes_, 0);
+      arena_ = std::exchange(other.arena_, nullptr);
     }
     return *this;
   }
@@ -110,6 +113,15 @@ class AlignedBuffer {
     // std::aligned_alloc.
     std::size_t bytes = static_cast<std::size_t>(n) * sizeof(T);
     bytes = (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+    // Arena path: when this thread is inside a ScopedArenaScope, the arena
+    // serves (and on slab growth budget-charges) the block itself — no
+    // double charge against the thread's budget scope.
+    if (ArenaHook* const arena = detail::arena_scope; arena != nullptr) {
+      data_ = static_cast<T*>(arena->arena_acquire(bytes));
+      size_ = n;
+      arena_ = arena;
+      return;
+    }
     // Charge-before-allocate against the thread's budget scope (if any):
     // the charge throws run_stopped_error(BudgetExceeded) before any memory
     // is requested, so a bounded run never overshoots its budget and then
@@ -131,12 +143,17 @@ class AlignedBuffer {
   }
 
   void release() noexcept {
-    std::free(data_);
+    if (arena_ != nullptr) {
+      if (data_ != nullptr) arena_->arena_release(data_);
+    } else {
+      std::free(data_);
+    }
     if (charged_to_ != nullptr) charged_to_->uncharge(charged_bytes_);
     data_ = nullptr;
     size_ = 0;
     charged_to_ = nullptr;
     charged_bytes_ = 0;
+    arena_ = nullptr;
   }
 
   T* data_ = nullptr;
@@ -145,6 +162,11 @@ class AlignedBuffer {
   /// release() returns the charge, moves transfer it.
   RunControl* charged_to_ = nullptr;
   std::size_t charged_bytes_ = 0;
+  /// Arena that served data_ (nullptr = plain heap); release() returns the
+  /// block there instead of freeing, moves transfer it. The arena must
+  /// outlive the buffer — guaranteed because ScopedArenaScope is confined to
+  /// the kernel-dispatch region and outputs are allocated outside it.
+  ArenaHook* arena_ = nullptr;
 };
 
 }  // namespace rsketch

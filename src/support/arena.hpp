@@ -1,0 +1,57 @@
+// Workspace-arena hook: lets a batch scheduler recycle kernel scratch
+// buffers across many sketch jobs instead of paying aligned_alloc/free per
+// job.
+//
+// The hook mirrors the budget hook in run_control.hpp: a thread-local
+// ArenaHook* is installed with ScopedArenaScope around the region whose
+// AlignedBuffer allocations should be arena-backed (sketch/sketch.cpp wraps
+// exactly the kernel-dispatch call — the staged output is allocated OUTSIDE
+// the scope, because it is moved out to the caller and must outlive any
+// arena). Because the scope is thread-local, OpenMP worker threads spawned
+// inside an arena'd region allocate normally — only the calling thread's
+// scratch (the per-thread ThreadCtx vector built before the parallel region)
+// goes through the arena, which is exactly the allocation worth recycling.
+#pragma once
+
+#include <cstddef>
+
+namespace rsketch {
+
+/// Interface a workspace arena implements to serve AlignedBuffer
+/// allocations. acquire either returns a 64-byte-aligned block of at least
+/// `bytes` bytes or throws (std::bad_alloc / run_stopped_error when the
+/// arena's budget control refuses the growth); release must accept exactly
+/// the pointers acquire handed out, in any order, from any thread.
+class ArenaHook {
+ public:
+  virtual ~ArenaHook() = default;
+  virtual void* arena_acquire(std::size_t bytes) = 0;
+  virtual void arena_release(void* p) noexcept = 0;
+};
+
+namespace detail {
+
+/// Thread-local arena for the AlignedBuffer allocation hook. Install with
+/// ScopedArenaScope; nullptr (the default) keeps allocations on the heap.
+inline thread_local ArenaHook* arena_scope = nullptr;
+
+}  // namespace detail
+
+/// RAII: route AlignedBuffer allocations on this thread through `arena` for
+/// the scope's lifetime. Nesting restores the previous scope on destruction;
+/// installing nullptr is a no-op scope (so call sites can pass
+/// `cfg.arena` unconditionally).
+class ScopedArenaScope {
+ public:
+  explicit ScopedArenaScope(ArenaHook* arena) : previous_(detail::arena_scope) {
+    detail::arena_scope = arena;
+  }
+  ~ScopedArenaScope() { detail::arena_scope = previous_; }
+  ScopedArenaScope(const ScopedArenaScope&) = delete;
+  ScopedArenaScope& operator=(const ScopedArenaScope&) = delete;
+
+ private:
+  ArenaHook* previous_;
+};
+
+}  // namespace rsketch

@@ -1,0 +1,196 @@
+#include "support/executor.hpp"
+
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <utility>
+
+#include "perf/perf.hpp"
+#include "perf/trace.hpp"
+#include "support/aligned_buffer.hpp"
+#include "support/common.hpp"
+#include "support/parallel.hpp"
+
+namespace rsketch {
+
+// ---- Executor --------------------------------------------------------------
+
+Executor::Executor(int workers) {
+  const int n = workers > 0 ? workers : max_threads();
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Executor::submit(Task task) {
+  const auto w = static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                                  queues_.size());
+  submit_to(w, std::move(task));
+}
+
+void Executor::submit_to(int worker, Task task) {
+  require(worker >= 0 && worker < workers(),
+          "Executor::submit_to: worker index out of range");
+  require(static_cast<bool>(task), "Executor::submit_to: empty task");
+  {
+    std::lock_guard<std::mutex> lock(queues_[static_cast<std::size_t>(worker)]->mu);
+    queues_[static_cast<std::size_t>(worker)]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  // Notify under mu_: a worker that just evaluated its park predicate (under
+  // mu_) either saw the new pending_ or is already blocked in wait() — so
+  // the wakeup can never fall into the evaluate-then-block window.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_.notify_one();
+  }
+}
+
+bool Executor::try_pop(int self, Task& out) {
+  {
+    WorkerQueue& q = *queues_[static_cast<std::size_t>(self)];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  const int n = workers();
+  for (int hop = 1; hop < n; ++hop) {
+    WorkerQueue& q = *queues_[static_cast<std::size_t>((self + hop) % n)];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      perf::add(perf::Counter::BatchSteals, 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Executor::worker_loop(int self) {
+  // Named lazily so a pool created before tracing is armed still labels its
+  // workers on the first wake that records anything.
+  thread_local bool named = false;
+  for (;;) {
+    // active_ covers the whole pop-and-run window: wait_idle() must not see
+    // pending_ == 0 while a task is between its queue and its execution.
+    active_.fetch_add(1, std::memory_order_relaxed);
+    if (!named && perf::trace::armed()) {
+      named = true;
+      perf::trace::set_thread_name("pool-worker-" + std::to_string(self));
+    }
+    Task task;
+    while (try_pop(self, task)) {
+      task();
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      task = nullptr;  // drop captured state before the next pop
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    if (pending_.load(std::memory_order_relaxed) == 0 &&
+        active_.load(std::memory_order_relaxed) == 0) {
+      idle_cv_.notify_all();
+    }
+    if (pending_.load(std::memory_order_relaxed) == 0) {
+      if (stop_) return;
+      // Flush this worker's trace ring before sleeping: a drained pool then
+      // holds no events hostage, and the export never races a parked ring.
+      perf::trace::retire_current_thread();
+      cv_.wait(lock, [this] {
+        return stop_ || pending_.load(std::memory_order_relaxed) > 0;
+      });
+      if (stop_ && pending_.load(std::memory_order_relaxed) == 0) return;
+    }
+  }
+}
+
+void Executor::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_relaxed) == 0 &&
+           active_.load(std::memory_order_relaxed) == 0;
+  });
+}
+
+// ---- WorkspaceArena --------------------------------------------------------
+
+WorkspaceArena::~WorkspaceArena() { trim(); }
+
+void* WorkspaceArena::arena_acquire(std::size_t bytes) {
+  if (bytes == 0) bytes = kCacheLineBytes;
+  bytes = (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Smallest cached slab that fits. Job scratch sizes repeat across a
+    // batch, so this is almost always an exact-size hit.
+    const auto it = free_.lower_bound(bytes);
+    if (it != free_.end()) {
+      void* p = it->second;
+      out_.emplace(p, it->first);
+      free_.erase(it);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return p;
+    }
+  }
+  // Grow by one slab, charge-before-allocate against the batch budget (a
+  // refused charge throws run_stopped_error(BudgetExceeded) out through the
+  // job, exactly like a direct AlignedBuffer charge would). The
+  // alloc-failure fault hook is NOT re-run here: AlignedBuffer::allocate
+  // already consumed one countdown tick before entering the arena.
+  if (budget_ != nullptr) budget_->charge(bytes);
+  void* p = std::aligned_alloc(kCacheLineBytes, bytes);
+  if (p == nullptr) {
+    if (budget_ != nullptr) budget_->uncharge(bytes);
+    throw std::bad_alloc();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out_.emplace(p, bytes);
+  }
+  held_.fetch_add(bytes, std::memory_order_relaxed);
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+void WorkspaceArena::arena_release(void* p) noexcept {
+  if (p == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = out_.find(p);
+  if (it == out_.end()) return;  // not ours — ignore rather than corrupt
+  // Cache under the slab's TRUE size (the ledger's, not the requester's):
+  // a later smaller request may reuse it, and trim/uncharge stay exact.
+  free_.emplace(it->second, p);
+  out_.erase(it);
+}
+
+void WorkspaceArena::trim() noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [bytes, p] : free_) {
+    std::free(p);
+    if (budget_ != nullptr) budget_->uncharge(bytes);
+    held_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  free_.clear();
+}
+
+}  // namespace rsketch

@@ -1,0 +1,159 @@
+// Persistent worker-pool executor and a recycling workspace arena — the
+// serving-layer substrate under sketch/batch.hpp.
+//
+// Executor keeps a fixed thread team alive for its whole lifetime (no thread
+// spawn per job): each worker owns a deque, submits land round-robin, and an
+// idle worker steals from the BACK of a victim's deque (the owner pops the
+// front) so stolen work is the coldest queued task and owner/thief rarely
+// contend on the same end. Workers park on a condition variable when every
+// queue is empty — after flushing their trace ring (perf/trace.hpp
+// retire_current_thread) so a drained pool leaves nothing buffered — and a
+// single notify wakes one for new work. Destruction drains: every task
+// already submitted runs before the threads join (cancellation is the job's
+// concern — sketch jobs poll their RunControl and fail fast when their batch
+// was cancelled).
+//
+// WorkspaceArena recycles the kernels' scratch blocks across jobs. It
+// implements the ArenaHook AlignedBuffer hook (support/arena.hpp): acquire
+// serves the smallest cached slab that fits or grows by one fresh slab —
+// charged against the attached RunControl budget, so an arena under a batch
+// budget creates back-pressure the per-job degradation ladder can see
+// through parent chaining — and release caches the slab for the next job
+// instead of freeing. Slabs stay charged while cached (that IS the reuse);
+// trim() or destruction returns the bytes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/arena.hpp"
+#include "support/run_control.hpp"
+
+namespace rsketch {
+
+/// Fixed-size worker pool with per-worker deques and work stealing.
+/// Thread-safe: any thread (including a worker, for nested submission) may
+/// submit concurrently. Tasks must not throw — wrap fallible work in its own
+/// try/catch (SketchBatch stores the exception on the job).
+class Executor {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawn `workers` threads (0 = omp_get_max_threads()).
+  explicit Executor(int workers = 0);
+
+  /// Drains every submitted task, then joins the team.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueue on the next worker round-robin.
+  void submit(Task task);
+
+  /// Enqueue on a specific worker's queue (tests use this to force a skewed
+  /// placement and observe stealing).
+  void submit_to(int worker, Task task);
+
+  /// Block until every submitted task has finished (queues empty AND no
+  /// worker mid-task).
+  void wait_idle();
+
+  int workers() const { return static_cast<int>(queues_.size()); }
+
+  /// Tasks currently queued (not yet picked up).
+  std::size_t queue_depth() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks taken from another worker's queue, pool lifetime total.
+  std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks completed, pool lifetime total.
+  std::uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(int self);
+  bool try_pop(int self, Task& out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;  ///< guards stop_ and the park/idle handshakes
+  std::condition_variable cv_;       ///< workers park here
+  std::condition_variable idle_cv_;  ///< wait_idle() parks here
+  bool stop_ = false;
+
+  std::atomic<std::size_t> pending_{0};  ///< queued, not yet popped
+  std::atomic<int> active_{0};           ///< workers not parked
+  std::atomic<std::uint64_t> rr_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> executed_{0};
+};
+
+/// Slab-recycling allocator behind the AlignedBuffer arena hook. Blocks are
+/// 64-byte-aligned whole slabs (no sub-allocation): the sketch kernels make
+/// a handful of identically-sized scratch allocations per job, so exact-size
+/// reuse hits almost always and fragmentation is structurally impossible.
+/// Thread-safe; release may come from any thread.
+class WorkspaceArena : public ArenaHook {
+ public:
+  /// `budget` (optional) is charged for every byte of slab the arena grows
+  /// by and uncharged on trim/destruction; cached slabs stay charged.
+  explicit WorkspaceArena(RunControl* budget = nullptr) : budget_(budget) {}
+
+  /// Frees every cached slab. Outstanding (un-released) blocks are a caller
+  /// bug; they are leaked deliberately rather than freed under the caller.
+  ~WorkspaceArena() override;
+
+  WorkspaceArena(const WorkspaceArena&) = delete;
+  WorkspaceArena& operator=(const WorkspaceArena&) = delete;
+
+  void* arena_acquire(std::size_t bytes) override;
+  void arena_release(void* p) noexcept override;
+
+  /// Free every cached (idle) slab and uncharge its bytes.
+  void trim() noexcept;
+
+  /// Acquisitions served from the cache without allocating.
+  std::uint64_t reuse_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  /// Fresh slab allocations (cache misses).
+  std::uint64_t slab_allocs() const {
+    return allocs_.load(std::memory_order_relaxed);
+  }
+  /// Total bytes across all slabs, cached and outstanding.
+  std::size_t held_bytes() const {
+    return held_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  std::multimap<std::size_t, void*> free_;   ///< cached slabs by size
+  std::map<void*, std::size_t> out_;         ///< outstanding block -> size
+  RunControl* budget_ = nullptr;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::size_t> held_{0};
+};
+
+}  // namespace rsketch

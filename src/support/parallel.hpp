@@ -17,13 +17,15 @@ inline int max_threads() { return omp_get_max_threads(); }
 /// Call from inside a parallel region (or its loop body — one branch plus a
 /// thread_local check per call once named). No-op while tracing is off, so
 /// arming mid-run still names whichever workers touch a traced region next.
+/// Threads that already carry a label keep it: an executor pool worker
+/// running a kernel sequentially stays "pool-worker-N" in the timeline.
 inline void trace_name_omp_thread() {
   if (!perf::trace::armed()) return;
   thread_local bool named = false;
   if (named) return;
   named = true;
-  perf::trace::set_thread_name("omp-worker-" +
-                               std::to_string(omp_get_thread_num()));
+  perf::trace::set_thread_name_if_unset("omp-worker-" +
+                                        std::to_string(omp_get_thread_num()));
 }
 
 /// RAII override of the OpenMP thread count, restored on destruction.
