@@ -58,6 +58,11 @@ StreamResult stream_benchmark(index_t elems, int reps) {
   return r;
 }
 
+const StreamResult& cached_stream_result() {
+  static const StreamResult r = stream_benchmark(index_t{1} << 21, 2);
+  return r;
+}
+
 double rng_throughput(Dist dist, RngBackend backend, index_t vec_len,
                       int reps) {
   require(vec_len > 0 && reps > 0, "rng_throughput: invalid parameters");

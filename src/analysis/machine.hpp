@@ -23,6 +23,11 @@ struct StreamResult {
 /// reporting the best bandwidth (standard STREAM methodology).
 StreamResult stream_benchmark(index_t elems, int reps);
 
+/// Process-wide memoized stream_benchmark(1<<21, 2) — the probe the model
+/// tuner and the block scheduler share, so calibration is paid once no
+/// matter how many consumers ask.
+const StreamResult& cached_stream_result();
+
 /// Generation throughput of one (distribution, backend) pair in
 /// samples/second, measured by repeatedly filling a `vec_len` buffer — the
 /// short-vector regime the blocked kernels operate in (paper §V-A).

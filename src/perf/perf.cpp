@@ -199,6 +199,10 @@ const char* counter_name(Counter c) {
     case Counter::RunBudgetHits: return "run_budget_hits";
     case Counter::BatchJobs: return "batch_jobs";
     case Counter::BatchSteals: return "batch_steals";
+    case Counter::ScheduleBuilds: return "schedule_builds";
+    case Counter::ScheduleBlocks: return "schedule_blocks";
+    case Counter::ScheduleImbalanceEstMilli:
+      return "schedule_imbalance_est_milli";
     case Counter::kCount: break;
   }
   return "?";

@@ -58,6 +58,12 @@ enum class Counter : int {
                          ///< (sketch/batch.hpp)
   BatchSteals,           ///< executor tasks stolen from another worker's
                          ///< queue (support/executor.hpp)
+  ScheduleBuilds,        ///< block schedules built for parallel sketch calls
+                         ///< (sketch/schedule.hpp)
+  ScheduleBlocks,        ///< outer blocks those schedules partitioned
+  ScheduleImbalanceEstMilli,  ///< predicted max/mean thread cost, in
+                              ///< thousandths, summed over builds (divide by
+                              ///< schedule_builds for the mean prediction)
   kCount
 };
 

@@ -45,7 +45,7 @@ Json machine_info_json(bool probe_bandwidth) {
   if (probe_bandwidth || env_int("RSKETCH_PERF_MACHINE", 0) != 0) {
     // Small STREAM pass (cache-busting but quick) + the paper's h for the
     // default sampler, so reports carry what the roofline model needs.
-    const StreamResult stream = stream_benchmark(1 << 21, 2);
+    const StreamResult& stream = cached_stream_result();
     m["stream_copy_gbps"] = stream.copy_gbps;
     m["stream_triad_gbps"] = stream.triad_gbps;
     m["h_uniform_xoshiro_batch"] =
@@ -96,6 +96,9 @@ void ReportBuilder::timing(const std::string& label, double seconds,
   if (stats.thread_imbalance > 0.0) {
     row["threads_used"] = static_cast<long long>(stats.threads_used);
     row["thread_imbalance"] = stats.thread_imbalance;
+  }
+  if (stats.schedule_imbalance_est > 0.0) {
+    row["schedule_imbalance_est"] = stats.schedule_imbalance_est;
   }
   timings_.push_back(std::move(row));
 }
@@ -161,6 +164,10 @@ Json ReportBuilder::build() const {
   counters["run_budget_hits"] = snap.get(Counter::RunBudgetHits);
   counters["batch_jobs"] = snap.get(Counter::BatchJobs);
   counters["batch_steals"] = snap.get(Counter::BatchSteals);
+  counters["schedule_builds"] = snap.get(Counter::ScheduleBuilds);
+  counters["schedule_blocks"] = snap.get(Counter::ScheduleBlocks);
+  counters["schedule_imbalance_est_milli"] =
+      snap.get(Counter::ScheduleImbalanceEstMilli);
   for (const auto& [k, v] : extra_counters_.members()) counters[k] = v;
   doc["counters"] = std::move(counters);
 

@@ -5,6 +5,7 @@
 
 #include "analysis/machine.hpp"
 #include "analysis/roofline.hpp"
+#include "support/parallel.hpp"
 
 namespace rsketch {
 
@@ -39,14 +40,27 @@ BlockSuggestion suggest_blocks(index_t m, index_t n, index_t d, double density,
   return s;
 }
 
+BlockSuggestion bias_blocks_for_skew(BlockSuggestion s,
+                                     const RowDegreeStats& stats, index_t n,
+                                     int nthreads) {
+  if (n < 1 || nthreads < 2 || stats.mean <= 0.0) return s;
+  const double max_degree = stats.max_fraction * static_cast<double>(n);
+  if (max_degree < kSkewBiasRatio * stats.mean) return s;
+  const index_t target_blocks =
+      std::max<index_t>(8, 4 * static_cast<index_t>(nthreads));
+  s.block_n = std::clamp<index_t>(ceil_div(n, target_blocks), 1, s.block_n);
+  return s;
+}
+
 template <typename T>
 void autotune_blocks(SketchConfig& cfg, const CscMatrix<T>& a) {
-  // A short, cheap probe: one small STREAM pass + short-vector RNG timing.
-  const StreamResult stream = stream_benchmark(1 << 21, 2);
-  const double h = measure_h(cfg.dist, cfg.backend, stream);
-  const BlockSuggestion s =
-      suggest_blocks(a.rows(), a.cols(), cfg.d, a.density(),
-                     detect_cache_bytes(), h, sizeof(T));
+  // A short, cheap probe: one memoized STREAM pass + short-vector RNG timing.
+  const double h = measure_h(cfg.dist, cfg.backend, cached_stream_result());
+  BlockSuggestion s = suggest_blocks(a.rows(), a.cols(), cfg.d, a.density(),
+                                     detect_cache_bytes(), h, sizeof(T));
+  const int nthreads =
+      cfg.parallel == ParallelOver::Sequential ? 1 : max_threads();
+  s = bias_blocks_for_skew(s, row_degree_stats(a), a.cols(), nthreads);
   cfg.block_d = s.block_d;
   cfg.block_n = s.block_n;
 }

@@ -6,6 +6,7 @@
 // decreasing b_n" offloads memory traffic onto the regenerated S.
 #pragma once
 
+#include "analysis/pattern.hpp"
 #include "sketch/config.hpp"
 #include "sparse/csc.hpp"
 
@@ -24,6 +25,20 @@ struct BlockSuggestion {
 BlockSuggestion suggest_blocks(index_t m, index_t n, index_t d, double density,
                                std::size_t cache_bytes, double rng_cost_h,
                                std::size_t elem_bytes);
+
+/// Max-over-mean row degree above which a pattern counts as heavily skewed
+/// and bias_blocks_for_skew() intervenes.
+inline constexpr double kSkewBiasRatio = 8.0;
+
+/// Skew guard for the block scheduler (DESIGN.md §5b): when the densest row
+/// carries >= kSkewBiasRatio × the mean nnz-per-row, the §III-A suggestion
+/// can hand back so few j-blocks that the LPT partitioner has nothing to
+/// move — one dense slab pins one thread. Cap b_n so at least ~4 blocks
+/// exist per thread (floor 8 total). No-op for balanced patterns or
+/// sequential runs (nthreads < 2).
+BlockSuggestion bias_blocks_for_skew(BlockSuggestion s,
+                                     const RowDegreeStats& stats, index_t n,
+                                     int nthreads);
 
 /// Convenience: fill cfg.block_d / cfg.block_n for matrix `a` using the
 /// detected cache size and a representative h for cfg.dist/backend.

@@ -102,27 +102,34 @@ JobHandle SketchBatch::enqueue(std::function<SketchStats(RunControl*)> body,
   }
   perf::add(perf::Counter::BatchJobs, 1);
   auto task = [this, job, body = std::move(body), large] {
-    // One span per job: it lands in the span table (latency histogram) AND,
-    // when tracing is armed, as a batch/job slice on the worker's timeline.
-    perf::Span span("batch/job");
-    try {
-      // Fail fast on jobs that were cancelled (or missed the deadline)
-      // while queued: the body never runs, the output is never touched,
-      // and the stop surfaces on the handle exactly once.
-      job->control.poll();
-      SketchStats stats;
-      if (large && options_.serialize_large_jobs) {
-        std::lock_guard<std::mutex> omp_gate(large_mu_);
-        stats = body(&job->control);
-      } else {
-        stats = body(&job->control);
+    SketchStats stats;
+    std::exception_ptr error;
+    {
+      // One span per job: it lands in the span table (latency histogram)
+      // AND, when tracing is armed, as a batch/job slice on the worker's
+      // timeline. The span must close BEFORE finished is published: a
+      // waiter may snapshot the trace the moment wait() returns, and the
+      // end event has to already be in this worker's ring by then.
+      perf::Span span("batch/job");
+      try {
+        // Fail fast on jobs that were cancelled (or missed the deadline)
+        // while queued: the body never runs, the output is never touched,
+        // and the stop surfaces on the handle exactly once.
+        job->control.poll();
+        if (large && options_.serialize_large_jobs) {
+          std::lock_guard<std::mutex> omp_gate(large_mu_);
+          stats = body(&job->control);
+        } else {
+          stats = body(&job->control);
+        }
+      } catch (...) {
+        error = std::current_exception();
       }
+    }
+    {
       std::lock_guard<std::mutex> lock(job->mu);
       job->stats = stats;
-      job->finished = true;
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(job->mu);
-      job->error = std::current_exception();
+      job->error = error;
       job->finished = true;
     }
     job->cv.notify_all();

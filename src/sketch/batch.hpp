@@ -212,6 +212,7 @@ class SketchBatch {
     index_t block_d;
     index_t block_n;
     microkernel::Isa isa;
+    ScheduleMode schedule;
   };
 
   JobHandle enqueue(std::function<SketchStats(RunControl*)> body, bool large);
@@ -242,7 +243,7 @@ class SketchBatch {
         "|" + std::to_string(int(cfg.kernel)) + "|" +
         std::to_string(int(cfg.backend)) + "|" + std::to_string(cfg.block_d) +
         "x" + std::to_string(cfg.block_n) + "|" +
-        std::to_string(int(cfg.isa));
+        std::to_string(int(cfg.isa)) + "|" + std::to_string(int(cfg.schedule));
     {
       std::lock_guard<std::mutex> lock(tuner_mu_);
       const auto it = tuner_memo_.find(key);
@@ -255,8 +256,9 @@ class SketchBatch {
     // (deterministic inputs, identical result) and never blocks submitters
     // behind a pilot-timing run.
     const SketchConfig resolved = resolve_tuning(cfg, a);
-    const TunedChoice choice{resolved.kernel, resolved.backend,
-                             resolved.block_d, resolved.block_n, resolved.isa};
+    const TunedChoice choice{resolved.kernel,  resolved.backend,
+                             resolved.block_d, resolved.block_n,
+                             resolved.isa,     resolved.schedule};
     {
       std::lock_guard<std::mutex> lock(tuner_mu_);
       tuner_memo_.emplace(key, choice);
@@ -271,6 +273,7 @@ class SketchBatch {
     cfg.block_d = c.block_d;
     cfg.block_n = c.block_n;
     cfg.isa = c.isa;
+    cfg.schedule = c.schedule;
     cfg.tune = TuneMode::Off;
   }
 

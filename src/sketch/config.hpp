@@ -41,6 +41,16 @@ enum class TuneMode {
               ///< keyed by (machine signature, matrix fingerprint)
 };
 
+/// How outer blocks are assigned to threads (sketch/schedule.hpp; see
+/// DESIGN.md §5b). Every mode executes each (i-block, j-block) pair exactly
+/// once over disjoint output panels, so Â is bitwise identical across modes —
+/// this is a pure load-balance knob.
+enum class ScheduleMode {
+  Auto,     ///< resolve via RSKETCH_SCHEDULE (default: balanced)
+  Uniform,  ///< contiguous equal-count chunks, like omp schedule(static)
+  Balanced  ///< LPT bin-packing over the nnz-aware per-block cost model
+};
+
 /// What a budget-bounded sketch does when the configured workspace does not
 /// fit (docs/ROBUSTNESS.md "Run control").
 enum class OnPressure {
@@ -53,6 +63,7 @@ std::string to_string(KernelVariant k);
 std::string to_string(ParallelOver p);
 std::string to_string(TuneMode t);
 std::string to_string(OnPressure p);
+std::string to_string(ScheduleMode s);
 
 /// Full specification of a sketch Â = S·A.
 struct SketchConfig {
@@ -81,6 +92,11 @@ struct SketchConfig {
   /// via RSKETCH_ISA. Pinning a tier is for tests, tuning, and debugging —
   /// every tier produces bitwise-identical Â, so this is a pure speed knob.
   microkernel::Isa isa = microkernel::Isa::Auto;
+  /// Block-to-thread schedule (sketch/schedule.hpp). Auto resolves through
+  /// RSKETCH_SCHEDULE (balanced when unset). Like `isa`, this never changes
+  /// a bit of Â — blocks are disjoint and S columns are seed-checkpointed —
+  /// so pinning a mode is for experiments and regression harnesses.
+  ScheduleMode schedule = ScheduleMode::Auto;
 
   // --- Run control (support/run_control.hpp; docs/ROBUSTNESS.md) ---------
   /// Wall-clock deadline in milliseconds for this call (0 = none; the
@@ -133,6 +149,11 @@ struct SketchStats {
   /// 0 when sequential or uninstrumented). Populated only when RSKETCH_PERF
   /// or tracing is on — measuring it costs one timer pair per kernel call.
   double thread_imbalance = 0.0;
+  /// Predicted max/mean per-thread cost of the block schedule the kernels
+  /// executed (1.0 = model says perfectly balanced; 0 when the run was
+  /// sequential or the uniform schedule skipped the cost model). Compare
+  /// with `thread_imbalance` to judge the cost model: predicted vs measured.
+  double schedule_imbalance_est = 0.0;
 
   /// Degradation-ladder steps taken by this call under budget pressure
   /// (0 = ran with the requested configuration). Each step is also visible

@@ -12,6 +12,7 @@
 #include "dense/microkernel.hpp"
 #include "perf/perf.hpp"
 #include "perf/trace.hpp"
+#include "sketch/schedule.hpp"
 #include "support/aligned_buffer.hpp"
 #include "support/env.hpp"
 #include "support/parallel.hpp"
@@ -53,24 +54,20 @@ struct BusyScope {
   Timer t;
 };
 
-/// Schedule of the jki DBlocks inner i-loop (RSKETCH_JKI_SCHEDULE =
-/// dynamic|static, default dynamic). Static exists for the load-imbalance
-/// experiment in bench/table7_parallel_scaling: it pins i-blocks to threads
-/// regardless of per-block nnz, so nnz skew across vertical blocks shows up
-/// as thread imbalance in the trace timeline and derived.thread_imbalance.
-enum class JkiSchedule { Dynamic, Static };
-
-JkiSchedule jki_schedule() {
-  static const JkiSchedule s = [] {
-    const std::string v = env_string("RSKETCH_JKI_SCHEDULE", "dynamic");
-    if (v == "static") return JkiSchedule::Static;
-    if (v != "dynamic") {
-      env_warn_once("RSKETCH_JKI_SCHEDULE", v.c_str(),
-                    "expected dynamic/static; using dynamic");
-    }
-    return JkiSchedule::Dynamic;
-  }();
-  return s;
+/// First-touch zero of the output panel Â[i0 : i0+d1, j0 : j0+n1), done by
+/// the thread about to accumulate into it so the pages land on its node.
+/// Replaces the up-front set_zero(): output blocks are disjoint and every
+/// (ib, jb) pair is executed exactly once, so coverage is identical. The
+/// last row block extends to the padded leading dimension so a reused Â
+/// keeps zero-initialized padding.
+template <typename T>
+void zero_panel(DenseMatrix<T>& a_hat, index_t i0, index_t d1, index_t j0,
+                index_t n1) {
+  const index_t top = i0 + d1 == a_hat.rows() ? a_hat.ld() : i0 + d1;
+  for (index_t j = j0; j < j0 + n1; ++j) {
+    T* c = a_hat.col(j) + i0;
+    std::fill(c, c + (top - i0), T{0});
+  }
 }
 
 template <typename T>
@@ -170,7 +167,6 @@ SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
   const index_t n_iblocks = d == 0 ? 0 : ceil_div(d, bd);
   const index_t n_jblocks = n == 0 ? 0 : ceil_div(n, bn);
 
-  a_hat.set_zero();
   const int nthreads =
       cfg.parallel == ParallelOver::Sequential ? 1 : omp_get_max_threads();
   std::vector<ThreadCtx<T>> ctxs;
@@ -182,51 +178,64 @@ SketchStats sketch_blocked_kji(const SketchConfig& cfg, const CscMatrix<T>& a,
       nthreads > 1 && (perf::enabled() || perf::trace::armed());
   CooperativeStop stop;
 
+  // Static block-to-thread assignment (sketch/schedule.hpp). DBlocks items
+  // are (jb, ib) pairs flattened jb-major; NBlocks items are whole column
+  // slabs. Any assignment is bitwise-equivalent — blocks are disjoint and S
+  // columns are seed-checkpointed — so this only moves work between threads.
+  const bool per_pair = cfg.parallel != ParallelOver::NBlocks;
+  const index_t n_items = per_pair ? n_iblocks * n_jblocks : n_jblocks;
+  const BlockSchedule sched = build_block_schedule(
+      resolve_schedule_mode(cfg.schedule), nthreads, n_items, [&] {
+        return kji_item_costs(a, d, bd, bn, cfg.parallel,
+                              schedule_rng_cost(cfg.dist, cfg.backend));
+      });
+
   Timer timer;
-  if (cfg.parallel == ParallelOver::NBlocks) {
-    // Threads own disjoint column panels of Â; no synchronization needed.
-#pragma omp parallel for schedule(dynamic) num_threads(nthreads)
-    for (index_t jb = 0; jb < n_jblocks; ++jb) {
-      trace_name_omp_thread();
-      auto& ctx = ctxs[static_cast<std::size_t>(omp_get_thread_num())];
-      const index_t j0 = jb * bn;
-      const index_t n1 = std::min(bn, n - j0);
-      for (index_t ib = 0; ib < n_iblocks; ++ib) {
-        if (stop.should_skip(run)) break;
-        const index_t i0 = ib * bd;
-        const index_t d1 = std::min(bd, d - i0);
-        BusyScope<T> busy(ctx, track_busy);
-        kernel_kji(a_hat, i0, d1, j0, n1, a, ctx.sampler, ctx.v.data(),
-                   instrument ? &ctx.sample_timer : nullptr,
-                   count ? &ctx.counters : nullptr);
-      }
-    }
-  } else {
-    // Algorithm 1 loop order: columns outermost (cache the sparse data and
-    // the active column panel of Â), row blocks inner. Threads split the
-    // inner d-loop — disjoint row panels of Â.
 #pragma omp parallel num_threads(nthreads) if (nthreads > 1)
-    {
-      trace_name_omp_thread();
-      auto& ctx = ctxs[static_cast<std::size_t>(omp_get_thread_num())];
-      for (index_t jb = 0; jb < n_jblocks; ++jb) {
+  {
+    trace_name_omp_thread();
+    maybe_pin_omp_thread(nthreads);
+    const int team = std::max(1, omp_get_num_threads());
+    // Robust to a shrunk team: every per-thread list runs exactly once no
+    // matter how many workers actually materialized.
+    for (int t = omp_get_thread_num(); t < sched.threads(); t += team) {
+      auto& ctx = ctxs[static_cast<std::size_t>(t)];
+      const index_t begin = sched.offsets[static_cast<std::size_t>(t)];
+      const index_t end = sched.offsets[static_cast<std::size_t>(t) + 1];
+      for (index_t k = begin; k < end; ++k) {
+        if (stop.should_skip(run)) break;
+        const index_t item = sched.items[static_cast<std::size_t>(k)];
+        const index_t jb = per_pair ? item / n_iblocks : item;
         const index_t j0 = jb * bn;
         const index_t n1 = std::min(bn, n - j0);
-#pragma omp for schedule(static) nowait
-        for (index_t ib = 0; ib < n_iblocks; ++ib) {
-          if (stop.should_skip(run)) continue;
-          const index_t i0 = ib * bd;
+        if (per_pair) {
+          const index_t i0 = (item % n_iblocks) * bd;
           const index_t d1 = std::min(bd, d - i0);
           BusyScope<T> busy(ctx, track_busy);
+          zero_panel(a_hat, i0, d1, j0, n1);
           kernel_kji(a_hat, i0, d1, j0, n1, a, ctx.sampler, ctx.v.data(),
                      instrument ? &ctx.sample_timer : nullptr,
                      count ? &ctx.counters : nullptr);
+        } else {
+          for (index_t ib = 0; ib < n_iblocks; ++ib) {
+            if (stop.should_skip(run)) break;
+            const index_t i0 = ib * bd;
+            const index_t d1 = std::min(bd, d - i0);
+            BusyScope<T> busy(ctx, track_busy);
+            zero_panel(a_hat, i0, d1, j0, n1);
+            kernel_kji(a_hat, i0, d1, j0, n1, a, ctx.sampler, ctx.v.data(),
+                       instrument ? &ctx.sample_timer : nullptr,
+                       count ? &ctx.counters : nullptr);
+          }
         }
       }
     }
   }
   check_join(stop, "sketch_blocked_kji");
-  return collect(ctxs, "sketch_blocked_kji", timer.seconds(), d, a.nnz());
+  SketchStats stats =
+      collect(ctxs, "sketch_blocked_kji", timer.seconds(), d, a.nnz());
+  stats.schedule_imbalance_est = sched.imbalance_est;
+  return stats;
 }
 
 template <typename T>
@@ -242,7 +251,6 @@ SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
   const index_t n_iblocks = d == 0 ? 0 : ceil_div(d, bd);
   const index_t n_jblocks = ab.num_blocks();
 
-  a_hat.set_zero();
   const int nthreads =
       cfg.parallel == ParallelOver::Sequential ? 1 : omp_get_max_threads();
   std::vector<ThreadCtx<T>> ctxs;
@@ -254,57 +262,61 @@ SketchStats sketch_blocked_jki(const SketchConfig& cfg, const BlockedCsr<T>& ab,
       nthreads > 1 && (perf::enabled() || perf::trace::armed());
   CooperativeStop stop;
 
+  // Same scheduled walk as the kji kernel; per-block cost comes from the
+  // BlockedCsr structure metadata (nnz / nonempty rows per vertical block),
+  // which is exactly where the skewed workloads concentrate their work.
+  const bool per_pair = cfg.parallel != ParallelOver::NBlocks;
+  const index_t n_items = per_pair ? n_iblocks * n_jblocks : n_jblocks;
+  const BlockSchedule sched = build_block_schedule(
+      resolve_schedule_mode(cfg.schedule), nthreads, n_items, [&] {
+        return jki_item_costs(ab, d, bd, cfg.parallel,
+                              schedule_rng_cost(cfg.dist, cfg.backend));
+      });
+
   Timer timer;
-  if (cfg.parallel == ParallelOver::NBlocks) {
-    // Each vertical block updates only its own column slab of Â.
-#pragma omp parallel for schedule(dynamic) num_threads(nthreads)
-    for (index_t jb = 0; jb < n_jblocks; ++jb) {
-      trace_name_omp_thread();
-      auto& ctx = ctxs[static_cast<std::size_t>(omp_get_thread_num())];
-      for (index_t ib = 0; ib < n_iblocks; ++ib) {
-        if (stop.should_skip(run)) break;
-        const index_t i0 = ib * bd;
-        const index_t d1 = std::min(bd, d - i0);
-        BusyScope<T> busy(ctx, track_busy);
-        kernel_jki(a_hat, i0, d1, ab.block(jb), ctx.sampler, ctx.v.data(),
-                   instrument ? &ctx.sample_timer : nullptr,
-                   count ? &ctx.counters : nullptr);
-      }
-    }
-  } else {
 #pragma omp parallel num_threads(nthreads) if (nthreads > 1)
-    {
-      trace_name_omp_thread();
-      auto& ctx = ctxs[static_cast<std::size_t>(omp_get_thread_num())];
-      for (index_t jb = 0; jb < n_jblocks; ++jb) {
-        auto body = [&](index_t ib) {
-          if (stop.should_skip(run)) return;
-          const index_t i0 = ib * bd;
+  {
+    trace_name_omp_thread();
+    maybe_pin_omp_thread(nthreads);
+    const int team = std::max(1, omp_get_num_threads());
+    for (int t = omp_get_thread_num(); t < sched.threads(); t += team) {
+      auto& ctx = ctxs[static_cast<std::size_t>(t)];
+      const index_t begin = sched.offsets[static_cast<std::size_t>(t)];
+      const index_t end = sched.offsets[static_cast<std::size_t>(t) + 1];
+      for (index_t k = begin; k < end; ++k) {
+        if (stop.should_skip(run)) break;
+        const index_t item = sched.items[static_cast<std::size_t>(k)];
+        const index_t jb = per_pair ? item / n_iblocks : item;
+        const auto& blk = ab.block(jb);
+        const index_t n1 = blk.csr.cols();
+        if (per_pair) {
+          const index_t i0 = (item % n_iblocks) * bd;
           const index_t d1 = std::min(bd, d - i0);
           BusyScope<T> busy(ctx, track_busy);
-          kernel_jki(a_hat, i0, d1, ab.block(jb), ctx.sampler, ctx.v.data(),
+          zero_panel(a_hat, i0, d1, blk.col0, n1);
+          kernel_jki(a_hat, i0, d1, blk, ctx.sampler, ctx.v.data(),
                      instrument ? &ctx.sample_timer : nullptr,
                      count ? &ctx.counters : nullptr);
-        };
-        // dynamic, not static: within one vertical block every i-block costs
-        // the same, but across blocks nnz can be wildly skewed, and with
-        // nowait threads flow across the jb boundary — dynamic chunks keep a
-        // thread that finished a sparse block from idling behind one stuck
-        // in a dense block (bench/table7_parallel_scaling's skewed case).
-        // RSKETCH_JKI_SCHEDULE=static forces the naive pinning for the
-        // imbalance experiments.
-        if (jki_schedule() == JkiSchedule::Static) {
-#pragma omp for schedule(static) nowait
-          for (index_t ib = 0; ib < n_iblocks; ++ib) body(ib);
         } else {
-#pragma omp for schedule(dynamic) nowait
-          for (index_t ib = 0; ib < n_iblocks; ++ib) body(ib);
+          for (index_t ib = 0; ib < n_iblocks; ++ib) {
+            if (stop.should_skip(run)) break;
+            const index_t i0 = ib * bd;
+            const index_t d1 = std::min(bd, d - i0);
+            BusyScope<T> busy(ctx, track_busy);
+            zero_panel(a_hat, i0, d1, blk.col0, n1);
+            kernel_jki(a_hat, i0, d1, blk, ctx.sampler, ctx.v.data(),
+                       instrument ? &ctx.sample_timer : nullptr,
+                       count ? &ctx.counters : nullptr);
+          }
         }
       }
     }
   }
   check_join(stop, "sketch_blocked_jki");
-  return collect(ctxs, "sketch_blocked_jki", timer.seconds(), d, ab.nnz());
+  SketchStats stats =
+      collect(ctxs, "sketch_blocked_jki", timer.seconds(), d, ab.nnz());
+  stats.schedule_imbalance_est = sched.imbalance_est;
+  return stats;
 }
 
 template SketchStats sketch_blocked_kji<float>(const SketchConfig&,

@@ -1,0 +1,261 @@
+#include "sketch/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <utility>
+
+#include "analysis/machine.hpp"
+#include "perf/perf.hpp"
+#include "perf/trace.hpp"
+#include "support/env.hpp"
+
+namespace rsketch {
+
+bool parse_schedule_mode(const std::string& s, ScheduleMode& out) {
+  if (s == "auto") {
+    out = ScheduleMode::Auto;
+    return true;
+  }
+  if (s == "uniform") {
+    out = ScheduleMode::Uniform;
+    return true;
+  }
+  if (s == "balanced") {
+    out = ScheduleMode::Balanced;
+    return true;
+  }
+  return false;
+}
+
+ScheduleMode resolve_schedule_mode(ScheduleMode requested,
+                                   const std::string& env_value,
+                                   const std::string& legacy_value) {
+  if (requested != ScheduleMode::Auto) return requested;
+  if (!env_value.empty()) {
+    ScheduleMode m = ScheduleMode::Auto;
+    if (!parse_schedule_mode(env_value, m)) {
+      env_warn_once("RSKETCH_SCHEDULE", env_value.c_str(),
+                    "expected auto/uniform/balanced; using balanced");
+    } else if (m != ScheduleMode::Auto) {
+      return m;
+    }
+  }
+  if (!legacy_value.empty()) {
+    // Pre-scheduler knob (jki-only): static pinned i-blocks to threads,
+    // dynamic let them float. Uniform reproduces the naive pinning the
+    // imbalance experiments rely on; everything else gets the balancer.
+    static std::once_flag warned;
+    std::call_once(warned, [&] {
+      std::fprintf(stderr,
+                   "rsketch: RSKETCH_JKI_SCHEDULE is deprecated; use "
+                   "RSKETCH_SCHEDULE=uniform|balanced (mapping '%s' -> %s)\n",
+                   legacy_value.c_str(),
+                   legacy_value == "static" ? "uniform" : "balanced");
+    });
+    if (legacy_value == "static") return ScheduleMode::Uniform;
+    return ScheduleMode::Balanced;
+  }
+  return ScheduleMode::Balanced;
+}
+
+ScheduleMode resolve_schedule_mode(ScheduleMode requested) {
+  if (requested != ScheduleMode::Auto) return requested;
+  static const ScheduleMode from_env =
+      resolve_schedule_mode(ScheduleMode::Auto,
+                            env_string("RSKETCH_SCHEDULE", ""),
+                            env_string("RSKETCH_JKI_SCHEDULE", ""));
+  return from_env;
+}
+
+double schedule_rng_cost(Dist dist, RngBackend backend) {
+  static std::mutex mu;
+  static std::map<std::pair<int, int>, double> memo;
+  const auto key = std::make_pair(static_cast<int>(dist),
+                                  static_cast<int>(backend));
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  const double h = measure_h(dist, backend, cached_stream_result());
+  // The estimator only needs a sane ratio; a probe gone sideways (throttled
+  // box, zero-length timing window) must not poison every schedule after it.
+  const double clamped = std::isfinite(h) ? std::min(std::max(h, 0.1), 1e4)
+                                          : 1.0;
+  memo.emplace(key, clamped);
+  return clamped;
+}
+
+BlockSchedule build_uniform_schedule(index_t n_items, int nthreads) {
+  const int nt = std::max(nthreads, 1);
+  BlockSchedule s;
+  s.items.resize(static_cast<std::size_t>(std::max<index_t>(n_items, 0)));
+  std::iota(s.items.begin(), s.items.end(), index_t{0});
+  s.offsets.resize(static_cast<std::size_t>(nt) + 1);
+  const index_t base = n_items / nt;
+  const index_t rem = n_items % nt;
+  index_t off = 0;
+  for (int t = 0; t <= nt; ++t) {
+    s.offsets[static_cast<std::size_t>(t)] = off;
+    if (t < nt) off += base + (t < rem ? 1 : 0);
+  }
+  return s;
+}
+
+BlockSchedule build_balanced_schedule(const std::vector<double>& costs,
+                                      int nthreads) {
+  const int nt = std::max(nthreads, 1);
+  const index_t n = static_cast<index_t>(costs.size());
+  std::vector<index_t> order(costs.size());
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return costs[static_cast<std::size_t>(a)] >
+           costs[static_cast<std::size_t>(b)];
+  });
+
+  std::vector<double> load(static_cast<std::size_t>(nt), 0.0);
+  std::vector<std::vector<index_t>> bins(static_cast<std::size_t>(nt));
+  for (index_t id : order) {
+    int best = 0;
+    for (int t = 1; t < nt; ++t) {
+      if (load[static_cast<std::size_t>(t)] <
+          load[static_cast<std::size_t>(best)]) {
+        best = t;
+      }
+    }
+    bins[static_cast<std::size_t>(best)].push_back(id);
+    load[static_cast<std::size_t>(best)] += costs[static_cast<std::size_t>(id)];
+  }
+
+  BlockSchedule s;
+  s.items.reserve(static_cast<std::size_t>(n));
+  s.offsets.resize(static_cast<std::size_t>(nt) + 1);
+  s.offsets[0] = 0;
+  for (int t = 0; t < nt; ++t) {
+    auto& bin = bins[static_cast<std::size_t>(t)];
+    std::sort(bin.begin(), bin.end());
+    s.items.insert(s.items.end(), bin.begin(), bin.end());
+    s.offsets[static_cast<std::size_t>(t) + 1] =
+        static_cast<index_t>(s.items.size());
+  }
+
+  const double total = std::accumulate(load.begin(), load.end(), 0.0);
+  const double mx = *std::max_element(load.begin(), load.end());
+  const double mean = total / static_cast<double>(nt);
+  s.imbalance_est = mean > 0.0 ? mx / mean : 1.0;
+  return s;
+}
+
+template <typename T>
+std::vector<double> kji_item_costs(const CscMatrix<T>& a, index_t d,
+                                   index_t bd, index_t bn, ParallelOver mode,
+                                   double rng_cost) {
+  const index_t n = a.cols();
+  const index_t n_i = d == 0 ? 0 : ceil_div(d, bd);
+  const index_t n_j = n == 0 ? 0 : ceil_div(n, bn);
+  const auto& col_ptr = a.col_ptr();
+  std::vector<double> out;
+  if (mode == ParallelOver::NBlocks) {
+    out.resize(static_cast<std::size_t>(n_j));
+    for (index_t jb = 0; jb < n_j; ++jb) {
+      const index_t j0 = jb * bn;
+      const index_t n1 = std::min(bn, n - j0);
+      const double nnz = static_cast<double>(
+          col_ptr[static_cast<std::size_t>(j0 + n1)] -
+          col_ptr[static_cast<std::size_t>(j0)]);
+      const double dd = static_cast<double>(d);
+      out[static_cast<std::size_t>(jb)] =
+          dd * static_cast<double>(n1) + (rng_cost + 2.0) * dd * nnz;
+    }
+    return out;
+  }
+  out.resize(static_cast<std::size_t>(n_i * n_j));
+  for (index_t jb = 0; jb < n_j; ++jb) {
+    const index_t j0 = jb * bn;
+    const index_t n1 = std::min(bn, n - j0);
+    const double nnz = static_cast<double>(
+        col_ptr[static_cast<std::size_t>(j0 + n1)] -
+        col_ptr[static_cast<std::size_t>(j0)]);
+    for (index_t ib = 0; ib < n_i; ++ib) {
+      const double d1 = static_cast<double>(std::min(bd, d - ib * bd));
+      out[static_cast<std::size_t>(jb * n_i + ib)] =
+          d1 * static_cast<double>(n1) + (rng_cost + 2.0) * d1 * nnz;
+    }
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<double> jki_item_costs(const BlockedCsr<T>& ab, index_t d,
+                                   index_t bd, ParallelOver mode,
+                                   double rng_cost) {
+  const index_t n_i = d == 0 ? 0 : ceil_div(d, bd);
+  const index_t n_j = ab.num_blocks();
+  std::vector<double> out;
+  if (mode == ParallelOver::NBlocks) {
+    out.resize(static_cast<std::size_t>(n_j));
+    for (index_t jb = 0; jb < n_j; ++jb) {
+      const double dd = static_cast<double>(d);
+      out[static_cast<std::size_t>(jb)] =
+          dd * static_cast<double>(ab.block_width(jb)) +
+          rng_cost * dd * static_cast<double>(ab.block_nonempty_rows(jb)) +
+          2.0 * dd * static_cast<double>(ab.block_nnz(jb));
+    }
+    return out;
+  }
+  out.resize(static_cast<std::size_t>(n_i * n_j));
+  for (index_t jb = 0; jb < n_j; ++jb) {
+    const double width = static_cast<double>(ab.block_width(jb));
+    const double ner = static_cast<double>(ab.block_nonempty_rows(jb));
+    const double nnz = static_cast<double>(ab.block_nnz(jb));
+    for (index_t ib = 0; ib < n_i; ++ib) {
+      const double d1 = static_cast<double>(std::min(bd, d - ib * bd));
+      out[static_cast<std::size_t>(jb * n_i + ib)] =
+          d1 * width + rng_cost * d1 * ner + 2.0 * d1 * nnz;
+    }
+  }
+  return out;
+}
+
+BlockSchedule build_block_schedule(
+    ScheduleMode resolved, int nthreads, index_t n_items,
+    const std::function<std::vector<double>()>& costs) {
+  if (nthreads <= 1 || n_items <= 1) {
+    return build_uniform_schedule(n_items, nthreads);
+  }
+  perf::Span span("schedule/build");
+  BlockSchedule s = resolved == ScheduleMode::Balanced
+                        ? build_balanced_schedule(costs(), nthreads)
+                        : build_uniform_schedule(n_items, nthreads);
+  if (perf::enabled()) {
+    perf::add(perf::Counter::ScheduleBuilds, 1);
+    perf::add(perf::Counter::ScheduleBlocks,
+              static_cast<std::uint64_t>(n_items));
+    perf::add(perf::Counter::ScheduleImbalanceEstMilli,
+              static_cast<std::uint64_t>(
+                  std::llround(s.imbalance_est * 1000.0)));
+  }
+  if (perf::trace::armed()) {
+    // Predicted imbalance next to the measured busy split in the timeline.
+    perf::trace::counter(perf::trace::intern("schedule_imbalance_est"),
+                         s.imbalance_est);
+  }
+  return s;
+}
+
+template std::vector<double> kji_item_costs<float>(const CscMatrix<float>&,
+                                                   index_t, index_t, index_t,
+                                                   ParallelOver, double);
+template std::vector<double> kji_item_costs<double>(const CscMatrix<double>&,
+                                                    index_t, index_t, index_t,
+                                                    ParallelOver, double);
+template std::vector<double> jki_item_costs<float>(const BlockedCsr<float>&,
+                                                   index_t, index_t,
+                                                   ParallelOver, double);
+template std::vector<double> jki_item_costs<double>(const BlockedCsr<double>&,
+                                                    index_t, index_t,
+                                                    ParallelOver, double);
+
+}  // namespace rsketch

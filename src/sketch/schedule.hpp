@@ -1,0 +1,101 @@
+// Cost-model-driven block scheduler (DESIGN.md §5b).
+//
+// The outer-blocked kernels parallelize over (i-block, j-block) pairs whose
+// per-block work varies wildly with the nnz distribution of A — a uniform
+// omp-for split leaves threads idling behind whichever one drew the dense
+// blocks (thread_imbalance 1.4 at 4 threads on the table7 skewed workload).
+// This module closes the structure → cost → schedule loop: a per-block work
+// estimator calibrated once per process from the machine probes feeds an LPT
+// bin-packing partitioner that emits a deterministic static BlockSchedule —
+// an explicit per-thread list of block ids each thread walks privately.
+//
+// Every mode executes every block exactly once and output blocks are
+// disjoint, so Â is bitwise identical across schedules, kernels, ISA tiers
+// and distributions; the schedule is a pure load-balance knob.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sketch/config.hpp"
+#include "sparse/blocked_csr.hpp"
+#include "sparse/csc.hpp"
+#include "support/common.hpp"
+
+namespace rsketch {
+
+/// Deterministic static assignment of block ids to threads. Thread t owns
+/// items[offsets[t] .. offsets[t+1]); each list is sorted ascending so a
+/// thread walks its blocks in traversal order (locality), while the *set*
+/// per thread comes from the partitioner.
+struct BlockSchedule {
+  std::vector<index_t> items;    ///< block ids, grouped by owning thread
+  std::vector<index_t> offsets;  ///< size threads()+1; prefix offsets
+  /// Predicted max/mean per-thread cost (1.0 = model says balanced; 0 when
+  /// the uniform split skipped the cost model entirely).
+  double imbalance_est = 0.0;
+
+  int threads() const { return static_cast<int>(offsets.size()) - 1; }
+};
+
+/// Parse "auto" / "uniform" / "balanced" into `out`; false on anything else.
+bool parse_schedule_mode(const std::string& s, ScheduleMode& out);
+
+/// Resolve Auto using explicit env strings (pure; for tests). Precedence:
+/// non-Auto `requested` wins; then RSKETCH_SCHEDULE (`env_value`); then the
+/// deprecated RSKETCH_JKI_SCHEDULE alias (`legacy_value`, static → Uniform,
+/// dynamic → Balanced, warned once); then Balanced — the default is on.
+ScheduleMode resolve_schedule_mode(ScheduleMode requested,
+                                   const std::string& env_value,
+                                   const std::string& legacy_value);
+
+/// Resolve Auto through the process environment (cached after first read).
+ScheduleMode resolve_schedule_mode(ScheduleMode requested);
+
+/// Calibrated cost of generating one entry of S relative to moving one
+/// element, i.e. measured h from analysis/machine.hpp — memoized per
+/// (dist, backend) so the stream + RNG probes run once per process.
+double schedule_rng_cost(Dist dist, RngBackend backend);
+
+/// Contiguous equal-count split of [0, n_items) over `nthreads` lists —
+/// the moral equivalent of omp schedule(static). No cost model consulted.
+BlockSchedule build_uniform_schedule(index_t n_items, int nthreads);
+
+/// LPT (longest-processing-time-first) greedy bin packing: items sorted by
+/// (cost desc, id asc) land in the currently lightest bin (lowest thread id
+/// on ties). Deterministic for a fixed cost vector; max bin ≤ 4/3 · optimum
+/// by the classic Graham bound.
+BlockSchedule build_balanced_schedule(const std::vector<double>& costs,
+                                      int nthreads);
+
+/// Per-item cost vectors for the estimator. DBlocks items are (jb, ib) pairs
+/// flattened jb-major (id = jb·n_iblocks + ib); NBlocks items are whole
+/// j-block column slabs (id = jb). Units are element-traffic equivalents:
+/// first-touch stores of the output panel, rng_cost per generated sample,
+/// and 2 per flop-pair touched.
+/// kji (Alg. 3): regenerates a d1-column of S per nonzero of the slab —
+///   cost = d1·n1 + rng_cost·d1·nnz + 2·d1·nnz.
+template <typename T>
+std::vector<double> kji_item_costs(const CscMatrix<T>& a, index_t d,
+                                   index_t bd, index_t bn, ParallelOver mode,
+                                   double rng_cost);
+/// jki (Alg. 4): regenerates one column per nonempty row of the slab and
+///   reuses it across the row — cost = d1·width + rng_cost·d1·nonempty_rows
+///   + 2·d1·nnz.
+template <typename T>
+std::vector<double> jki_item_costs(const BlockedCsr<T>& ab, index_t d,
+                                   index_t bd, ParallelOver mode,
+                                   double rng_cost);
+
+/// Build the schedule for one kernel invocation: resolves nothing (pass the
+/// resolved mode), times the build under the "schedule/build" span, bumps
+/// the schedule_* counters and emits the predicted imbalance onto the trace
+/// counter track. `costs` is only invoked for Balanced — Uniform never pays
+/// the calibration probes. Sequential runs (nthreads <= 1) and degenerate
+/// item counts short-circuit to a trivial split with no telemetry.
+BlockSchedule build_block_schedule(
+    ScheduleMode resolved, int nthreads, index_t n_items,
+    const std::function<std::vector<double>()>& costs);
+
+}  // namespace rsketch

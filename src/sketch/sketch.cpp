@@ -52,6 +52,15 @@ std::string to_string(OnPressure p) {
   return "?";
 }
 
+std::string to_string(ScheduleMode s) {
+  switch (s) {
+    case ScheduleMode::Auto: return "auto";
+    case ScheduleMode::Uniform: return "uniform";
+    case ScheduleMode::Balanced: return "balanced";
+  }
+  return "?";
+}
+
 template <typename T>
 T sketch_post_scale(const SketchConfig& cfg) {
   double s = 1.0;

@@ -16,8 +16,10 @@
 #include "perf/perf.hpp"
 #include "perf/trace.hpp"
 #include "sketch/autotune.hpp"
+#include "sketch/schedule.hpp"
 #include "sketch/sketch.hpp"
 #include "support/env.hpp"
+#include "support/parallel.hpp"
 #include "support/run_control.hpp"
 #include "support/timer.hpp"
 
@@ -64,15 +66,18 @@ RngBackend alternate_backend(RngBackend b) {
                                  : RngBackend::Philox;
 }
 
-/// Model suggestion for cfg over `a`: one STREAM pass + RNG probe, like
-/// autotune_blocks(), but returning the suggestion instead of mutating cfg.
+/// Model suggestion for cfg over `a`: one memoized STREAM pass + RNG probe,
+/// like autotune_blocks(), but returning the suggestion instead of mutating
+/// cfg. Skew-biased so the scheduler has enough blocks to balance.
 template <typename T>
 BlockSuggestion model_suggestion(const SketchConfig& cfg,
                                  const CscMatrix<T>& a) {
-  const StreamResult stream = stream_benchmark(1 << 21, 2);
-  const double h = measure_h(cfg.dist, cfg.backend, stream);
-  return suggest_blocks(a.rows(), a.cols(), cfg.d, a.density(),
-                        detect_cache_bytes(), h, sizeof(T));
+  const double h = measure_h(cfg.dist, cfg.backend, cached_stream_result());
+  BlockSuggestion s = suggest_blocks(a.rows(), a.cols(), cfg.d, a.density(),
+                                     detect_cache_bytes(), h, sizeof(T));
+  const int nthreads =
+      cfg.parallel == ParallelOver::Sequential ? 1 : max_threads();
+  return bias_blocks_for_skew(s, row_degree_stats(a), a.cols(), nthreads);
 }
 
 void apply(SketchConfig& cfg, const TuneCandidate& cand) {
@@ -81,6 +86,7 @@ void apply(SketchConfig& cfg, const TuneCandidate& cand) {
   cfg.block_d = cand.block_d;
   cfg.block_n = cand.block_n;
   cfg.isa = cand.isa;
+  cfg.schedule = cand.schedule;
 }
 
 /// Leading-column slice A[:, 0:pilot_n) with d clamped — the pilot problem
@@ -186,7 +192,8 @@ void resolve_model(const SketchConfig& cfg, const CscMatrix<T>& a,
   const BlockSuggestion s = model_suggestion(cfg, a);
   eff.block_d = s.block_d;
   eff.block_n = s.block_n;
-  dec.choice = {cfg.kernel, cfg.backend, s.block_d, s.block_n, cfg.isa};
+  dec.choice = {cfg.kernel, cfg.backend, s.block_d, s.block_n, cfg.isa,
+                cfg.schedule};
   dec.source = TuneSource::Model;
 }
 
@@ -227,7 +234,8 @@ void resolve_empirical(const SketchConfig& cfg, const CscMatrix<T>& a,
 std::string TuneCandidate::label() const {
   std::ostringstream os;
   os << kernel_token(kernel) << "/" << backend_token(backend) << "/"
-     << block_d << "x" << block_n << "/" << microkernel::to_string(isa);
+     << block_d << "x" << block_n << "/" << microkernel::to_string(isa) << "/"
+     << to_string(schedule);
   return os.str();
 }
 
@@ -311,6 +319,16 @@ std::vector<TuneCandidate> tuner_candidates(const SketchConfig& cfg,
       if (isa == resolved || !microkernel::supported(isa)) continue;
       out.push_back({k, cfg.backend, model_bd, model_bn, isa});
     }
+    // The schedule mode the env default does NOT resolve to, only at the
+    // model blocks and only for parallel dispatch — sequential runs walk one
+    // list regardless, so timing the axis would be pure noise.
+    if (cfg.parallel != ParallelOver::Sequential) {
+      const ScheduleMode other =
+          resolve_schedule_mode(cfg.schedule) == ScheduleMode::Balanced
+              ? ScheduleMode::Uniform
+              : ScheduleMode::Balanced;
+      out.push_back({k, cfg.backend, model_bd, model_bn, cfg.isa, other});
+    }
   }
   return out;
 }
@@ -374,6 +392,13 @@ TuningCache TuningCache::load(const std::string& path) {
         continue;  // unknown tier token: stale entry, re-tune on demand
       }
     }
+    // Optional since the block scheduler landed, same contract as "isa".
+    if (const perf::Json* sched = e.find("schedule"); sched != nullptr) {
+      if (!sched->is_string() ||
+          !parse_schedule_mode(sched->as_string(), entry.cand.schedule)) {
+        continue;  // unknown mode token: stale entry, re-tune on demand
+      }
+    }
     if (const perf::Json* ps = e.find("pilot_seconds");
         ps != nullptr && ps->is_number()) {
       entry.pilot_seconds = ps->as_double();
@@ -415,6 +440,7 @@ bool TuningCache::save(const std::string& path) const {
     j["block_d"] = static_cast<long long>(e.cand.block_d);
     j["block_n"] = static_cast<long long>(e.cand.block_n);
     j["isa"] = microkernel::to_string(e.cand.isa);
+    j["schedule"] = to_string(e.cand.schedule);
     j["pilot_seconds"] = e.pilot_seconds;
     entries[key] = std::move(j);
   }
@@ -434,7 +460,8 @@ SketchConfig resolve_tuning(const SketchConfig& cfg, const CscMatrix<T>& a,
   TuneDecision local;
   TuneDecision& dec = decision != nullptr ? *decision : local;
   dec = TuneDecision{};
-  dec.choice = {cfg.kernel, cfg.backend, cfg.block_d, cfg.block_n, cfg.isa};
+  dec.choice = {cfg.kernel, cfg.backend, cfg.block_d, cfg.block_n, cfg.isa,
+                cfg.schedule};
   SketchConfig eff = cfg;
   eff.tune = TuneMode::Off;
   // Degenerate problems (nothing to sketch, or nothing to tune over) are

@@ -31,8 +31,13 @@ struct TuneCandidate {
   /// what old cache entries decode to — means "resolve at dispatch", so the
   /// tuner only pins a tier when a non-default one actually won a pilot.
   microkernel::Isa isa = microkernel::Isa::Auto;
+  /// Block-to-thread schedule (sketch/schedule.hpp), same contract as `isa`:
+  /// Auto resolves at dispatch, old cache entries decode to Auto, and a mode
+  /// is only pinned when it actually won a pilot.
+  ScheduleMode schedule = ScheduleMode::Auto;
 
-  /// Compact stable label: "kji/xoshiro_batch/3000x500/auto" (cache + logs).
+  /// Compact stable label: "kji/xoshiro_batch/3000x500/auto/auto"
+  /// (kernel/backend/blocks/isa/schedule; cache + logs).
   std::string label() const;
 };
 

@@ -45,6 +45,14 @@ class BlockedCsr {
     return blocks_[static_cast<std::size_t>(b)];
   }
 
+  /// Cost-model metadata of block b (sketch/schedule.hpp): everything the
+  /// per-block work estimator needs without touching the CSR arrays.
+  index_t block_nnz(index_t b) const { return block(b).nnz; }
+  index_t block_nonempty_rows(index_t b) const {
+    return block(b).nonempty_rows;
+  }
+  index_t block_width(index_t b) const { return block(b).csr.cols(); }
+
   index_t nnz() const;
   std::size_t memory_bytes() const;
 

@@ -7,11 +7,20 @@ runners are noisy but the counters are exact functions of the workload.
 derived.thread_imbalance (schema_version 2) is likewise warn-only: scheduling
 jitter moves it run to run, but a sustained jump is worth a look.
 
+--imbalance-max turns imbalance into a hard gate: the run fails when the
+gated thread_imbalance exceeds the threshold, or when the metric is missing
+entirely (a silently-disabled probe must not pass the gate). By default the
+gate reads derived.thread_imbalance (the report-wide worst); --imbalance-label
+narrows it to the max over timing rows whose label contains the substring, so
+a workload-specific bound (say, the skewed table7 row under the balanced
+schedule) isn't polluted by unrelated rows.
+
 Exit codes: 0 pass (warnings allowed), 1 counter regression or broken input.
 
 Usage:
   check_bench_regression.py CURRENT BASELINE [--tolerance 0.10]
                             [--time-tolerance 0.50]
+                            [--imbalance-max 1.25 [--imbalance-label SUBSTR]]
 
 The baseline's "counters" object defines the gated set: every key present in
 the baseline is checked in the current report. An intentional improvement
@@ -64,6 +73,20 @@ def main():
         default=2.0,
         help="derived.thread_imbalance above which to warn when the baseline "
         "carries no value of its own (default 2.0; never fails)",
+    )
+    ap.add_argument(
+        "--imbalance-max",
+        type=float,
+        default=None,
+        help="hard thread_imbalance ceiling: FAIL when the gated imbalance "
+        "exceeds this, or when the metric is absent (default: advisory only)",
+    )
+    ap.add_argument(
+        "--imbalance-label",
+        default=None,
+        help="gate the max thread_imbalance over timing rows whose label "
+        "contains this substring instead of derived.thread_imbalance "
+        "(only meaningful with --imbalance-max)",
     )
     args = ap.parse_args()
 
@@ -139,8 +162,43 @@ def main():
                 f"(threshold {args.imbalance_warn:.2f}) {label}"
             )
 
+    # Hard imbalance gate (--imbalance-max): a missing metric fails too —
+    # otherwise turning perf collection off would green the gate.
+    if args.imbalance_max is not None:
+        if args.imbalance_label is not None:
+            gated = [
+                row["thread_imbalance"]
+                for row in current.get("timings", [])
+                if isinstance(row, dict)
+                and args.imbalance_label in str(row.get("label", ""))
+                and isinstance(row.get("thread_imbalance"), (int, float))
+            ]
+            what = f"rows matching '{args.imbalance_label}'"
+            gate_imb = max(gated) if gated else None
+        else:
+            what = "derived.thread_imbalance"
+            gate_imb = cur_imb if isinstance(cur_imb, (int, float)) else None
+        if gate_imb is None:
+            print(
+                f"thread imbalance gate: no {what} in {args.current}  FAIL",
+                file=sys.stderr,
+            )
+            failures += 1
+        elif gate_imb > args.imbalance_max:
+            print(
+                f"thread imbalance gate: {what} = {gate_imb:.2f} > "
+                f"{args.imbalance_max:.2f}  FAIL",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(
+                f"thread imbalance gate: {what} = {gate_imb:.2f} <= "
+                f"{args.imbalance_max:.2f}  ok"
+            )
+
     if failures:
-        print(f"\nFAIL: {failures} counter regression(s)", file=sys.stderr)
+        print(f"\nFAIL: {failures} gate failure(s)", file=sys.stderr)
         return 1
     print(f"\nPASS ({warnings} warning(s))")
     return 0
